@@ -1,0 +1,28 @@
+"""E9 — design-space ablation: scouting distance K and misroute budget m.
+
+The trade-off called out in the paper's closing discussion: larger K
+adds acknowledgment traffic; smaller m forces more backtracking and
+retries.
+"""
+
+from repro.experiments import ablation_k, experiment_scale
+
+from .conftest import run_and_report
+
+
+def test_bench_ablation(benchmark):
+    scale = experiment_scale()
+    exp = run_and_report(
+        benchmark,
+        lambda: ablation_k.run(scale=scale),
+        ablation_k.render,
+        name="ablation",
+    )
+    k_series = exp.series_by_label("K sweep")
+    m_series = exp.series_by_label("m sweep")
+    # Every configuration still delivers traffic.
+    assert all(p.delivered > 0 for p in k_series.points)
+    assert all(p.delivered > 0 for p in m_series.points)
+    # K=0 (aggressive) no slower than K=5 under load near faults.
+    lat_by_k = {int(p.extra["K"]): p.latency for p in k_series.points}
+    assert lat_by_k[0] <= lat_by_k[5] * 1.1

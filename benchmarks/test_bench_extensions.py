@@ -1,0 +1,48 @@
+"""Extension benches: hardware acks (Section 7.0) and length sweep.
+
+Not figures of the paper, but experiments the paper explicitly calls
+for: the future-work hardware-acknowledgment evaluation and the
+short-message sensitivity claim of the introduction.
+"""
+
+from repro.experiments import ablation_hw_acks, experiment_scale
+from repro.experiments import message_length_sweep
+from repro.experiments.report import render_experiment
+
+from .conftest import run_and_report
+
+
+def test_bench_hw_acks(benchmark):
+    scale = experiment_scale()
+    exp = run_and_report(
+        benchmark,
+        lambda: ablation_hw_acks.run(scale=scale),
+        render_experiment,
+        name="hw_acks",
+    )
+    flit = exp.series_by_label("Flit acks")
+    hw = exp.series_by_label("HW acks")
+    # Low-load behaviour identical ("logical behavior unchanged").
+    assert abs(flit.points[0].latency - hw.points[0].latency) < (
+        0.08 * flit.points[0].latency
+    )
+    # Dedicated wires never reduce saturation throughput.
+    assert hw.saturation_throughput() >= flit.saturation_throughput() * 0.97
+
+
+def test_bench_length_sweep(benchmark):
+    scale = experiment_scale()
+    exp = run_and_report(
+        benchmark,
+        lambda: message_length_sweep.run(scale=scale),
+        message_length_sweep.render,
+        name="length_sweep",
+    )
+    tp = exp.series_by_label("TP")
+    mb = exp.series_by_label("MB-m")
+    ratios = [
+        m.latency / t.latency for t, m in zip(tp.points, mb.points)
+    ]
+    # The PCS penalty is relatively largest for the shortest messages.
+    assert ratios[0] > ratios[-1]
+    assert ratios[0] > 1.2

@@ -1,0 +1,32 @@
+"""E3 — Figure 12: latency vs throughput, fault-free TP / DP / MB-m.
+
+Expected shape: TP tracks DP closely (configurable flow control is free
+when no faults are present) while MB-m pays the PCS setup overhead in
+zero-load latency and saturates no later than either.
+"""
+
+from repro.experiments import experiment_scale, fig12_fault_free
+from repro.experiments.report import render_experiment
+
+from .conftest import run_and_report
+
+
+def test_bench_fig12(benchmark):
+    scale = experiment_scale()
+    exp = run_and_report(
+        benchmark,
+        lambda: fig12_fault_free.run(scale=scale),
+        render_experiment,
+        name="fig12",
+    )
+    tp = exp.series_by_label("TP")
+    dp = exp.series_by_label("DP")
+    mb = exp.series_by_label("MB-m")
+    # Shape assertions (who wins, by roughly what relation).
+    assert tp.points[0].latency <= dp.points[0].latency * 1.05, (
+        "TP zero-load latency must match DP's"
+    )
+    assert mb.points[0].latency > dp.points[0].latency * 1.1, (
+        "MB-m must pay a visible path-setup penalty"
+    )
+    assert mb.saturation_throughput() <= tp.saturation_throughput() * 1.05

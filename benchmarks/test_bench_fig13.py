@@ -1,0 +1,31 @@
+"""E4 — Figure 13: latency vs throughput with 1/10/20 node faults.
+
+Expected shape: TP's latency stays below MB-m's at matching fault
+counts; TP's saturation throughput degrades sharply as faults grow
+while MB-m degrades gracefully.
+"""
+
+from repro.experiments import experiment_scale, fig13_static_faults
+from repro.experiments.report import render_experiment
+
+from .conftest import run_and_report
+
+
+def test_bench_fig13(benchmark):
+    scale = experiment_scale()
+    exp = run_and_report(
+        benchmark,
+        lambda: fig13_static_faults.run(scale=scale),
+        render_experiment,
+        name="fig13",
+    )
+    for count in (1, 10, 20):
+        tp = exp.series_by_label(f"TP ({count}F)")
+        mb = exp.series_by_label(f"MB-m ({count}F)")
+        assert tp.points[0].latency < mb.points[0].latency, (
+            f"TP must beat MB-m at low load with {count} faults"
+        )
+    # TP degrades with fault count (latency at the lowest load grows).
+    tp1 = exp.series_by_label("TP (1F)").points[0].latency
+    tp20 = exp.series_by_label("TP (20F)").points[0].latency
+    assert tp20 > tp1

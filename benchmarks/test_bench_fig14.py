@@ -1,0 +1,32 @@
+"""E5 — Figure 14: latency and throughput as a function of node faults.
+
+Expected shape: at low loads MB-m's latency stays nearly flat across
+the fault sweep; TP wins at low fault counts; at the highest offered
+load TP's accepted throughput falls as faults accumulate.
+"""
+
+from repro.experiments import experiment_scale, fig14_fault_sweep
+
+from .conftest import run_and_report
+
+
+def test_bench_fig14(benchmark):
+    scale = experiment_scale()
+    exp = run_and_report(
+        benchmark,
+        lambda: fig14_fault_sweep.run(scale=scale),
+        fig14_fault_sweep.render,
+        name="fig14",
+    )
+    # MB-m latency roughly flat at the lowest load (paper: "remains
+    # relatively flat regardless of the number of faults").
+    mb_low = exp.series_by_label("MB-m (1)")
+    lats = [p.latency for p in mb_low.points]
+    assert max(lats) < min(lats) * 1.6
+    # TP beats MB-m with few faults at moderate load.
+    tp = exp.series_by_label("TP (10)")
+    mb = exp.series_by_label("MB-m (10)")
+    assert tp.points[0].latency < mb.points[0].latency
+    # At the top load TP throughput drops as faults grow.
+    tp_hi = exp.series_by_label("TP (50)")
+    assert tp_hi.points[-1].throughput < tp_hi.points[0].throughput

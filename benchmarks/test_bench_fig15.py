@@ -1,0 +1,38 @@
+"""E6 — Figure 15: aggressive (K=0) vs conservative (K=3) scouting.
+
+Expected shape: near-identical at one fault and low load; the
+aggressive configuration no worse — and clearly better near saturation
+with many faults — because K>0 acknowledgment traffic outweighs the
+detours it saves.
+"""
+
+from repro.experiments import (
+    experiment_scale,
+    fig15_aggressive_vs_conservative,
+)
+from repro.experiments.report import render_experiment
+
+from .conftest import run_and_report
+
+
+def test_bench_fig15(benchmark):
+    scale = experiment_scale()
+    exp = run_and_report(
+        benchmark,
+        lambda: fig15_aggressive_vs_conservative.run(scale=scale),
+        render_experiment,
+        name="fig15",
+    )
+    agg1 = exp.series_by_label("Aggressive (1F)")
+    con1 = exp.series_by_label("Conservative (1F)")
+    # With one fault at low load the variants coincide.
+    assert abs(agg1.points[0].latency - con1.points[0].latency) < (
+        0.1 * con1.points[0].latency
+    )
+    # With many faults the aggressive variant is at least as good.
+    agg20 = exp.series_by_label("Aggressive (20F)")
+    con20 = exp.series_by_label("Conservative (20F)")
+    assert (
+        agg20.saturation_throughput()
+        >= con20.saturation_throughput() * 0.95
+    )

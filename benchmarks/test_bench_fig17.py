@@ -1,0 +1,38 @@
+"""E7 — Figure 17: dynamic faults, with vs without tail acknowledgments.
+
+Expected shape: negligible difference at low load; the with-TAck
+(reliable delivery + retransmission) curves saturate at lower loads —
+held paths and message acknowledgments throttle injection — yet the
+feasible operating range extends almost to saturation.
+"""
+
+from repro.experiments import experiment_scale, fig17_dynamic_faults
+from repro.experiments.report import render_experiment
+
+from .conftest import run_and_report
+
+
+def test_bench_fig17(benchmark):
+    scale = experiment_scale()
+    exp = run_and_report(
+        benchmark,
+        lambda: fig17_dynamic_faults.run(scale=scale),
+        render_experiment,
+        name="fig17",
+    )
+    plain1 = exp.series_by_label("w/o TAck (1F)")
+    tack1 = exp.series_by_label("with TAck (1F)")
+    # Low-load latencies are close (recovery support is near-free).
+    assert abs(plain1.points[0].latency - tack1.points[0].latency) < (
+        0.15 * plain1.points[0].latency
+    )
+    # Reliable delivery saturates no later than recovery-only... i.e.
+    # its saturation throughput cannot exceed the plain variant's.
+    plain20 = exp.series_by_label("w/o TAck (20F)")
+    tack20 = exp.series_by_label("with TAck (20F)")
+    assert (
+        tack20.saturation_throughput()
+        <= plain20.saturation_throughput() * 1.05
+    )
+    # Reliable mode loses nothing.
+    assert all(p.killed == 0 for p in tack20.points)

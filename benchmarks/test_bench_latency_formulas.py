@@ -1,0 +1,23 @@
+"""E1 — Section 2.2 / Figure 1: minimum-latency table.
+
+Regenerates the WR / SR(K) / PCS latency comparison; every measured
+value must equal the paper's closed-form expression.
+"""
+
+from repro.experiments import formula_table
+
+from .conftest import run_and_report
+
+
+def test_bench_formula_table(benchmark):
+    rows = run_and_report(
+        benchmark,
+        lambda: formula_table.run(
+            link_grid=(1, 2, 4, 7),
+            length_grid=(1, 8, 32),
+            k_grid=(1, 3),
+        ),
+        formula_table.render,
+        name="formula_table",
+    )
+    assert all(r.match for r in rows)

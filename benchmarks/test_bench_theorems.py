@@ -1,0 +1,18 @@
+"""E2 — Section 3.0: Theorem 1/2 backtracking bounds on fault alleys."""
+
+from repro.experiments import theorem_table
+
+from .conftest import run_and_report
+
+
+def test_bench_theorem_alleys(benchmark):
+    rows = run_and_report(
+        benchmark,
+        lambda: theorem_table.run(radix=16, n=2, depths=(1, 2, 3, 4)),
+        theorem_table.render,
+        name="theorems",
+    )
+    # The header must retreat the full alley depth, and the measured
+    # consecutive backtracks respect the theorem-level bound.
+    assert all(r.measured_backtracks >= r.depth for r in rows)
+    assert all(r.within_bound for r in rows)

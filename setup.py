@@ -1,0 +1,4 @@
+"""Legacy-compatible install shim (environments without the wheel pkg)."""
+from setuptools import setup
+
+setup()

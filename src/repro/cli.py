@@ -1,0 +1,197 @@
+"""Command-line interface: ``repro-sim``.
+
+Subcommands:
+
+* ``run`` — one simulation with explicit parameters, printing the
+  latency/throughput summary;
+* ``figure`` — regenerate one of the paper's figures (12, 13, 14, 15,
+  17, ``formulas``, ``theorems``, ``ablation``);
+* ``sweep`` — a latency-throughput load sweep for one protocol.
+
+Examples::
+
+    repro-sim run --protocol tp --load 0.15 --faults 5
+    repro-sim figure 12
+    REPRO_PAPER_SCALE=1 repro-sim figure 13
+    repro-sim sweep --protocol mb --loads 0.05,0.1,0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import experiment_scale, sweep_loads
+from repro.experiments.report import render_series_table
+from repro.sim.config import FaultConfig, RecoveryConfig, SimulationConfig
+from repro.sim.simulator import NetworkSimulator
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    params = {}
+    if args.protocol == "tp":
+        params["k_unsafe"] = args.k_unsafe
+    cfg = SimulationConfig(
+        k=args.k,
+        n=args.n,
+        protocol=args.protocol,
+        protocol_params=params,
+        message_length=args.message_length,
+        offered_load=args.load,
+        warmup_cycles=args.warmup,
+        measure_cycles=args.cycles,
+        seed=args.seed,
+        faults=FaultConfig(
+            static_node_faults=args.faults,
+            dynamic_faults=args.dynamic_faults,
+        ),
+        recovery=RecoveryConfig(
+            tail_ack=args.tail_ack, retransmit=args.tail_ack
+        ),
+    )
+    result = NetworkSimulator(cfg).run()
+    print(
+        f"protocol={args.protocol} load={args.load} faults={args.faults} "
+        f"dynamic={args.dynamic_faults}"
+    )
+    print(
+        f"latency  {result.latency_mean:.1f} +- {result.latency_ci95:.1f} "
+        f"cycles ({result.latency_count} messages)"
+    )
+    print(f"throughput {result.throughput:.4f} flits/node/cycle")
+    print(
+        f"delivered {result.delivered}  dropped {result.dropped}  "
+        f"killed {result.killed}  retransmissions {result.retransmissions}"
+    )
+    if result.drop_reasons:
+        print(f"drop reasons: {result.drop_reasons}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    name = args.name.lower()
+    if name in ("12", "fig12"):
+        from repro.experiments import fig12_fault_free as mod
+
+        mod.main()
+    elif name in ("13", "fig13"):
+        from repro.experiments import fig13_static_faults as mod
+
+        mod.main()
+    elif name in ("14", "fig14"):
+        from repro.experiments import fig14_fault_sweep as mod
+
+        mod.main()
+    elif name in ("15", "fig15"):
+        from repro.experiments import fig15_aggressive_vs_conservative as mod
+
+        mod.main()
+    elif name in ("17", "fig17"):
+        from repro.experiments import fig17_dynamic_faults as mod
+
+        mod.main()
+    elif name == "formulas":
+        from repro.experiments import formula_table as mod
+
+        mod.main()
+    elif name == "theorems":
+        from repro.experiments import theorem_table as mod
+
+        mod.main()
+    elif name == "ablation":
+        from repro.experiments import ablation_k as mod
+
+        mod.main()
+    elif name in ("hw-acks", "hw_acks"):
+        from repro.experiments import ablation_hw_acks as mod
+
+        mod.main()
+    elif name in ("length", "length-sweep"):
+        from repro.experiments import message_length_sweep as mod
+
+        mod.main()
+    elif name == "validation":
+        from repro.sim import validation
+
+        print(validation.render(validation.validate()))
+    else:
+        print(f"unknown figure {args.name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    loads = [float(x) for x in args.loads.split(",")]
+    params = {}
+    if args.protocol == "tp":
+        params["k_unsafe"] = args.k_unsafe
+    series = sweep_loads(
+        experiment_scale(),
+        args.protocol.upper(),
+        args.protocol,
+        params,
+        loads=loads,
+        static_faults=args.faults,
+    )
+    print(render_series_table([series], title=f"sweep: {args.protocol}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description=(
+            "Flit-level simulator for 'Configurable Flow Control "
+            "Mechanisms for Fault-Tolerant Routing' (ISCA 1995)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one simulation")
+    run_p.add_argument("--protocol", default="tp",
+                       choices=("tp", "dp", "mb", "det"))
+    run_p.add_argument("--k", type=int, default=8, help="network radix")
+    run_p.add_argument("--n", type=int, default=2, help="dimensions")
+    run_p.add_argument("--load", type=float, default=0.1,
+                       help="offered load, flits/node/cycle")
+    run_p.add_argument("--message-length", type=int, default=32)
+    run_p.add_argument("--faults", type=int, default=0,
+                       help="static node faults")
+    run_p.add_argument("--dynamic-faults", type=int, default=0)
+    run_p.add_argument("--tail-ack", action="store_true",
+                       help="reliable delivery with tail acknowledgments")
+    run_p.add_argument("--k-unsafe", type=int, default=0,
+                       help="TP scouting distance past unsafe channels")
+    run_p.add_argument("--warmup", type=int, default=1000)
+    run_p.add_argument("--cycles", type=int, default=5000)
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.set_defaults(func=_cmd_run)
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure")
+    fig_p.add_argument(
+        "name",
+        help=(
+            "12 | 13 | 14 | 15 | 17 | formulas | theorems | ablation "
+            "| hw-acks | length | validation"
+        ),
+    )
+    fig_p.set_defaults(func=_cmd_figure)
+
+    sweep_p = sub.add_parser("sweep", help="latency-throughput load sweep")
+    sweep_p.add_argument("--protocol", default="tp",
+                         choices=("tp", "dp", "mb"))
+    sweep_p.add_argument("--loads", default="0.05,0.1,0.2,0.3")
+    sweep_p.add_argument("--faults", type=int, default=0)
+    sweep_p.add_argument("--k-unsafe", type=int, default=0)
+    sweep_p.set_defaults(func=_cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

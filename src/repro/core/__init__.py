@@ -1,0 +1,30 @@
+"""The paper's contribution: configurable flow control, header format,
+latency models, theorems.  The Two-Phase protocol lives in
+:mod:`repro.core.two_phase` (imported lazily by the top-level package
+to avoid an import cycle through :mod:`repro.sim.message`).
+"""
+
+from repro.core.flow_control import (
+    FlowControlConfig,
+    FlowControlKind,
+    K_INFINITE,
+    gate_open,
+    max_header_data_gap,
+)
+from repro.core.header import Header, decode, encode, header_bits
+from repro.core.latency_model import t_pcs, t_scouting, t_wormhole
+
+__all__ = [
+    "FlowControlConfig",
+    "FlowControlKind",
+    "Header",
+    "K_INFINITE",
+    "decode",
+    "encode",
+    "gate_open",
+    "header_bits",
+    "max_header_data_gap",
+    "t_pcs",
+    "t_scouting",
+    "t_wormhole",
+]

@@ -1,0 +1,229 @@
+"""The Two-Phase (TP) fault-tolerant routing protocol (Section 4.0).
+
+The paper's primary contribution: a protocol that routes optimistically
+— Duato's Protocol restrictions with wormhole-like flow control (K=0,
+no acknowledgments) — through fault-free regions, and conservatively —
+scouting flow control with misrouting, backtracking, and detour
+construction — in the vicinity of faults.  The structure follows the
+pseudocode of Figure 6:
+
+DP phase (per pending header, highest priority first)
+    1. a *safe* profitable adaptive channel;
+    2. the *safe* deterministic (escape) channel — blocking while it is
+       merely busy, with the adaptive channels re-examined every cycle;
+    3. if the deterministic channel is faulty or unsafe: an *unsafe*
+       profitable adaptive channel — crossing it switches the header to
+       SR mode (SR bit set; every subsequently reserved channel is
+       programmed with the scouting distance K);
+    4. an *unsafe* deterministic channel (same SR switch);
+    5. otherwise the header enters detour mode.
+
+Detour phase
+    Route profitably over any adaptive channel; misroute (at most ``m``
+    times, preferring the input channel's dimension, with a U-turn as
+    the last resort when backtracking is impossible); else backtrack —
+    the scouting gap guarantees the probe can retreat to the first data
+    flit.  Stuck probes retry in place and finally abort to the
+    recovery mechanism.
+
+Two standard configurations from the evaluation:
+
+* **aggressive** (Figures 13/14 and the K=0 series of Figure 15):
+  ``k_unsafe = 0`` — no acknowledgment traffic at all; faults are
+  handled purely by detour construction;
+* **conservative** (the K=3 series of Figure 15): ``k_unsafe = 3`` —
+  Theorem 2's sufficient scouting distance is programmed into every
+  channel crossed after the first unsafe channel.
+"""
+
+from __future__ import annotations
+
+from repro.core import detour as detour_rules
+from repro.core.flow_control import FlowControlConfig
+from repro.routing.base import WAIT, Action, Decision, RoutingContext
+from repro.routing.dimension_order import deterministic_route
+from repro.routing.selection import adaptive_candidate, misroute_ports
+from repro.sim.message import Message, TPMode
+
+#: Misroute budget of the detour search; 6 guarantees delivery with up
+#: to 2n-1 node faults (Theorem 2) and fits the 3-bit header field.
+DEFAULT_MISROUTE_LIMIT = 6
+
+
+class TwoPhaseProtocol:
+    """Fully adaptive, deadlock-free Two-Phase fault-tolerant routing."""
+
+    name = "tp"
+    inline_header = False
+
+    def __init__(self, k_unsafe: int = 0,
+                 misroute_limit: int = DEFAULT_MISROUTE_LIMIT,
+                 retry_backoff: int = 16, max_retries: int = 3):
+        self.misroute_limit = misroute_limit
+        self.retry_backoff = retry_backoff
+        self.max_retries = max_retries
+        self.flow_control = FlowControlConfig.scouting(
+            k_safe=0, k_unsafe=k_unsafe
+        )
+
+    @staticmethod
+    def aggressive(**kwargs) -> "TwoPhaseProtocol":
+        """TP that keeps K = 0 across unsafe channels (no ack traffic)."""
+        return TwoPhaseProtocol(k_unsafe=0, **kwargs)
+
+    @staticmethod
+    def conservative(k: int = 3, **kwargs) -> "TwoPhaseProtocol":
+        """TP that programs K on channels past the first unsafe one."""
+        return TwoPhaseProtocol(k_unsafe=k, **kwargs)
+
+    # ------------------------------------------------------------------
+    def on_arrival(self, ctx: RoutingContext, message: Message) -> None:
+        """Per-hop protocol state is handled by the engine hooks."""
+
+    def decide(self, ctx: RoutingContext, message: Message) -> Decision:
+        if message.tp_mode is TPMode.DETOUR:
+            return self._decide_detour(ctx, message)
+        return self._decide_dp(ctx, message)
+
+    # ------------------------------------------------------------------
+    # Optimistic phase: DP routing restrictions over safe channels.
+    # ------------------------------------------------------------------
+    def _decide_dp(self, ctx: RoutingContext, message: Message) -> Decision:
+        node = message.current_node()
+        dst = message.dst
+        fc = self.flow_control
+        k_now = fc.k_for(message.header.sr)
+
+        # 1. Safe profitable adaptive channel.
+        candidate = adaptive_candidate(ctx, node, dst, require_safe=True)
+        if candidate is not None:
+            dim, direction, vc = candidate
+            return Decision(
+                action=Action.RESERVE, vc=vc, port=(dim, direction), k=k_now
+            )
+
+        # 2. Safe deterministic channel: take it, or block while busy.
+        det = deterministic_route(ctx.topology, node, dst)
+        assert det is not None, "decide() must not be called at destination"
+        dim, direction, vclass = det
+        det_ch = ctx.topology.channel_id(node, dim, direction)
+        det_faulty = ctx.faults.channel_faulty[det_ch]
+        det_unsafe = ctx.faults.channel_unsafe[det_ch]
+        if not det_faulty and not det_unsafe:
+            vc = ctx.channels.deterministic(det_ch, vclass)
+            if vc.is_free:
+                return Decision(
+                    action=Action.RESERVE, vc=vc, port=(dim, direction),
+                    k=k_now,
+                )
+            if vc.owner == message.msg_id:
+                # A post-detour path is a walk and may revisit this
+                # physical channel: the escape VC is held by this very
+                # message and can never free while its header blocks.
+                # Treat it as unavailable and fall through to the
+                # conservative machinery instead of deadlocking.
+                detour_rules.enter_detour(message)
+                return self._decide_detour(ctx, message)
+            return WAIT  # blocks; adaptive channels re-checked next cycle
+
+        # 3. Unsafe profitable adaptive channel — entering the fault
+        # vicinity switches flow control from WR to SR.
+        candidate = adaptive_candidate(ctx, node, dst, require_safe=False)
+        if candidate is not None:
+            a_dim, a_direction, vc = candidate
+            message.header.sr = True
+            return Decision(
+                action=Action.RESERVE, vc=vc, port=(a_dim, a_direction),
+                k=fc.k_for(True),
+            )
+
+        # 4. Unsafe deterministic channel.
+        if not det_faulty and det_unsafe:
+            vc = ctx.channels.deterministic(det_ch, vclass)
+            if vc.is_free:
+                message.header.sr = True
+                return Decision(
+                    action=Action.RESERVE, vc=vc, port=(dim, direction),
+                    k=fc.k_for(True),
+                )
+
+        # 5. No way forward under DP restrictions: construct a detour.
+        detour_rules.enter_detour(message)
+        return self._decide_detour(ctx, message)
+
+    # ------------------------------------------------------------------
+    # Conservative phase: unrestricted depth-first detour search.
+    # ------------------------------------------------------------------
+    def _decide_detour(self, ctx: RoutingContext,
+                       message: Message) -> Decision:
+        if ctx.cycle < message.retry_wait:
+            return WAIT
+
+        topo = ctx.topology
+        node = message.current_node()
+        dst = message.dst
+        j = message.header_router
+        tried = message.tried[j]
+        k_now = self.flow_control.k_for(message.header.sr)
+        can_backtrack = j > 0 and j > message.head_router
+        # The depth-first search is self-avoiding: stepping onto a node
+        # already on the path would open a cycle in the walk, thrash
+        # the misroute budget, and (worst case) block on the message's
+        # own channels.  The history store's role in hardware.  The
+        # deliberate U-turn below is the single exception.
+        on_path = set(message.path_nodes)
+
+        # Profitable over any adaptive channel, safety ignored.
+        for dim, direction in topo.profitable_ports(node, dst):
+            ch = topo.channel_id(node, dim, direction)
+            if ctx.faults.channel_faulty[ch] or ch in tried:
+                continue
+            next_node = topo.channel(ch).dst
+            if next_node in on_path and next_node != dst:
+                continue
+            vc = ctx.channels.free_adaptive(ch)
+            if vc is not None:
+                return Decision(
+                    action=Action.RESERVE, vc=vc, port=(dim, direction),
+                    k=k_now, hold=True,
+                )
+
+        # Misroute within budget; the U-turn onto the reverse channel is
+        # taken only when retreating is impossible ("the header can
+        # route using the virtual channels in the opposite direction").
+        if message.header.misroutes < self.misroute_limit:
+            arrival = message.arrival_dims[j]
+            for dim, direction in misroute_ports(
+                ctx, node, dst, arrival, allow_u_turn=not can_backtrack
+            ):
+                ch = topo.channel_id(node, dim, direction)
+                if ch in tried:
+                    continue
+                next_node = topo.channel(ch).dst
+                is_u_turn = (
+                    arrival is not None
+                    and (dim, direction) == (arrival[0], -arrival[1])
+                )
+                if next_node in on_path and not is_u_turn:
+                    continue
+                vc = ctx.channels.free_adaptive(ch)
+                if vc is not None:
+                    return Decision(
+                        action=Action.RESERVE, vc=vc, port=(dim, direction),
+                        k=k_now, hold=True, is_misroute=True,
+                    )
+
+        if can_backtrack:
+            return Decision(action=Action.BACKTRACK)
+
+        # Stuck at the first data flit (or the source): retry in place,
+        # then hand the message to the recovery mechanism.
+        if message.retries < self.max_retries:
+            message.retries += 1
+            message.retry_wait = ctx.cycle + self.retry_backoff
+            tried.clear()
+            return WAIT
+        return Decision(
+            action=Action.ABORT,
+            reason="TP detour construction failed after retries",
+        )

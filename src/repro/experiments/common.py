@@ -1,0 +1,243 @@
+"""Shared machinery for the paper's evaluation experiments (Section 6.0).
+
+Every figure driver builds on the same pieces:
+
+* :func:`experiment_scale` — laptop-scale defaults (8-ary 2-cube,
+  shorter runs, fault counts scaled by node ratio) with the paper's
+  full 16-ary 2-cube restored under ``REPRO_PAPER_SCALE=1``;
+* :func:`run_point` — one (protocol, load, faults) point, replicated
+  until the 95% latency CI is below 5% of the mean (the paper's
+  stopping rule), returning a :class:`Point`;
+* :class:`Series` / :class:`Experiment` — the figure's data, printable
+  as an aligned ASCII table via :mod:`repro.experiments.report`.
+
+Load conventions follow the paper: offered load in flits/node/cycle;
+Figure 14's parenthesized loads are messages/node/5000 cycles
+(``m * 32 / 5000`` flits/node/cycle for 32-flit messages).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.config import FaultConfig, RecoveryConfig, SimulationConfig
+from repro.sim.simulator import NetworkSimulator
+from repro.sim.stats import (
+    ReplicatedResult,
+    repeat_until_confident,
+)
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Experiment sizing: reduced by default, paper-scale on request."""
+
+    k: int
+    n: int
+    warmup: int
+    measure: int
+    drain: int
+    replications: int
+    max_replications: int
+    #: Factor applied to the paper's fault counts (node-count ratio).
+    fault_scale: float
+    name: str
+
+    def faults(self, paper_count: int) -> int:
+        """Scale one of the paper's fault counts to this network size."""
+        if paper_count == 0:
+            return 0
+        return max(1, round(paper_count * self.fault_scale))
+
+    @property
+    def num_nodes(self) -> int:
+        return self.k**self.n
+
+
+REDUCED = Scale(
+    k=8, n=2, warmup=600, measure=2500, drain=4000,
+    replications=2, max_replications=4, fault_scale=0.25, name="reduced",
+)
+PAPER = Scale(
+    k=16, n=2, warmup=2000, measure=10_000, drain=12_000,
+    replications=2, max_replications=6, fault_scale=1.0, name="paper",
+)
+QUICK = Scale(
+    k=5, n=2, warmup=300, measure=1200, drain=2000,
+    replications=1, max_replications=2, fault_scale=0.1, name="quick",
+)
+
+
+def experiment_scale() -> Scale:
+    """Pick the experiment scale from the environment.
+
+    ``REPRO_PAPER_SCALE=1`` → the paper's 16-ary 2-cube setup;
+    ``REPRO_QUICK=1`` → tiny smoke-test scale; otherwise the reduced
+    8-ary 2-cube default.
+    """
+    if os.environ.get("REPRO_PAPER_SCALE") == "1":
+        return PAPER
+    if os.environ.get("REPRO_QUICK") == "1":
+        return QUICK
+    return REDUCED
+
+
+#: The paper's message length (flits) with a one-flit routing header.
+MESSAGE_LENGTH = 32
+
+#: Offered-load sweep (flits/node/cycle) for latency-throughput curves;
+#: spans zero-load through past saturation as in Figures 12/13.
+DEFAULT_LOADS = (0.02, 0.05, 0.10, 0.15, 0.20, 0.28, 0.36)
+
+
+def fig14_load(messages_per_5000: int) -> float:
+    """Figure 14's load unit: messages/node/5000 cycles → flits/node/cycle."""
+    return messages_per_5000 * MESSAGE_LENGTH / 5000.0
+
+
+def base_config(scale: Scale, protocol: str,
+                protocol_params: Optional[dict] = None,
+                **overrides) -> SimulationConfig:
+    """The common Section 6.0 configuration at the given scale."""
+    cfg = SimulationConfig(
+        k=scale.k,
+        n=scale.n,
+        protocol=protocol,
+        protocol_params=dict(protocol_params or {}),
+        message_length=MESSAGE_LENGTH,
+        traffic="uniform",
+        warmup_cycles=scale.warmup,
+        measure_cycles=scale.measure,
+        drain_cycles=scale.drain,
+        injection_queue_limit=8,
+    )
+    return cfg.with_(**overrides) if overrides else cfg
+
+
+@dataclass
+class Point:
+    """One measured point of a figure."""
+
+    offered_load: float
+    latency: float
+    latency_ci: float
+    throughput: float
+    delivered: int
+    dropped: int
+    killed: int
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class Series:
+    """One curve of a figure (e.g. "TP (10F)")."""
+
+    label: str
+    points: List[Point] = field(default_factory=list)
+
+    def saturation_throughput(self, latency_factor: float = 3.0) -> float:
+        """Throughput at the knee of the latency-throughput curve.
+
+        The paper defines saturation as the load above which latency
+        rises dramatically with little throughput gain; we report the
+        highest measured throughput whose latency stays within
+        ``latency_factor`` of the zero-load latency.
+        """
+        if not self.points:
+            return float("nan")
+        base = self.points[0].latency
+        best = 0.0
+        for pt in self.points:
+            if not math.isnan(pt.latency) and pt.latency <= latency_factor * base:
+                best = max(best, pt.throughput)
+        return best
+
+
+@dataclass
+class Experiment:
+    """A figure's worth of series plus its identity."""
+
+    figure: str
+    title: str
+    scale_name: str
+    series: List[Series] = field(default_factory=list)
+
+    def series_by_label(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(label)
+
+
+def run_point(
+    scale: Scale,
+    protocol: str,
+    protocol_params: Optional[dict],
+    offered_load: float,
+    static_faults: int = 0,
+    dynamic_faults: int = 0,
+    dynamic_kind: str = "link",
+    recovery: Optional[RecoveryConfig] = None,
+    base_seed: int = 1,
+    target_ci: float = 0.05,
+    hardware_acks: bool = False,
+) -> ReplicatedResult:
+    """One experiment point, replicated per the paper's CI rule."""
+    def run_one(seed: int):
+        cfg = base_config(
+            scale, protocol, protocol_params,
+            offered_load=offered_load,
+            seed=seed,
+            hardware_acks=hardware_acks,
+        )
+        fault_cfg = FaultConfig(
+            static_node_faults=static_faults,
+            dynamic_faults=dynamic_faults,
+            dynamic_kind=dynamic_kind,
+            dynamic_start=scale.warmup,
+        )
+        cfg = cfg.with_(faults=fault_cfg)
+        if recovery is not None:
+            cfg = cfg.with_(recovery=recovery)
+        return NetworkSimulator(cfg).run()
+
+    return repeat_until_confident(
+        run_one,
+        min_runs=scale.replications,
+        max_runs=scale.max_replications,
+        target_relative_ci=target_ci,
+        base_seed=base_seed,
+    )
+
+
+def sweep_loads(
+    scale: Scale,
+    label: str,
+    protocol: str,
+    protocol_params: Optional[dict] = None,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    base_seed: int = 1,
+    **point_kwargs,
+) -> Series:
+    """A latency-throughput curve: one point per offered load."""
+    series = Series(label=label)
+    for i, load in enumerate(loads):
+        rep = run_point(
+            scale, protocol, protocol_params, load,
+            base_seed=base_seed + 100 * i, **point_kwargs,
+        )
+        series.points.append(
+            Point(
+                offered_load=load,
+                latency=rep.latency_mean,
+                latency_ci=rep.latency_ci95,
+                throughput=rep.throughput_mean,
+                delivered=rep.delivered,
+                dropped=rep.dropped,
+                killed=rep.killed,
+            )
+        )
+    return series

@@ -1,0 +1,54 @@
+"""Figure 12: latency vs. throughput in the fault-free network.
+
+Compares Two-Phase routing (TP, scouting distance 0 — no acknowledgment
+traffic), Duato's Protocol (DP, the wormhole baseline), and MB-m (the
+PCS baseline) under uniform traffic with 32-flit messages.
+
+Expected shape (paper): TP's curve is virtually identical to DP's —
+the configurable flow control costs nothing in the fault-free case —
+while MB-m pays the decoupled path setup and extra control flits with
+~3x the zero-load latency and visibly earlier saturation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import (
+    DEFAULT_LOADS,
+    Experiment,
+    Scale,
+    experiment_scale,
+    sweep_loads,
+)
+
+PROTOCOLS = (
+    ("TP", "tp", {"k_unsafe": 0}),
+    ("DP", "dp", {}),
+    ("MB-m", "mb", {}),
+)
+
+
+def run(scale: Optional[Scale] = None,
+        loads: Sequence[float] = DEFAULT_LOADS) -> Experiment:
+    scale = scale if scale is not None else experiment_scale()
+    exp = Experiment(
+        figure="Figure 12",
+        title="Latency vs. Throughput, TP / DP / MB-m, fault-free",
+        scale_name=scale.name,
+    )
+    for label, protocol, params in PROTOCOLS:
+        exp.series.append(
+            sweep_loads(scale, label, protocol, params, loads=loads)
+        )
+    return exp
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    from repro.experiments.report import render_experiment
+
+    print(render_experiment(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

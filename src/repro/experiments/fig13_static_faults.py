@@ -1,0 +1,65 @@
+"""Figure 13: latency vs. throughput with static node faults.
+
+TP (aggressive configuration, K = 0, detour-based) against MB-m with
+the paper's 1 / 10 / 20 randomly placed failed nodes (scaled by the
+node-count ratio at reduced scale).
+
+Expected shape (paper): TP's latency stays below MB-m's at every fault
+count and load, but TP's saturation throughput collapses as faults
+grow (at 20 faults the paper measures ~17% of the fault-free
+saturation), whereas MB-m degrades gracefully in small steps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import (
+    DEFAULT_LOADS,
+    Experiment,
+    Scale,
+    experiment_scale,
+    sweep_loads,
+)
+
+#: The paper's fault counts for this figure.
+PAPER_FAULT_COUNTS = (1, 10, 20)
+
+
+def run(scale: Optional[Scale] = None,
+        loads: Sequence[float] = DEFAULT_LOADS,
+        fault_counts: Sequence[int] = PAPER_FAULT_COUNTS) -> Experiment:
+    scale = scale if scale is not None else experiment_scale()
+    exp = Experiment(
+        figure="Figure 13",
+        title="Latency vs. Throughput, TP and MB-m with node faults",
+        scale_name=scale.name,
+    )
+    for label, protocol, params in (
+        ("TP", "tp", {"k_unsafe": 0}),
+        ("MB-m", "mb", {}),
+    ):
+        for paper_faults in fault_counts:
+            faults = scale.faults(paper_faults)
+            exp.series.append(
+                sweep_loads(
+                    scale,
+                    f"{label} ({paper_faults}F)",
+                    protocol,
+                    params,
+                    loads=loads,
+                    static_faults=faults,
+                    base_seed=1000 * paper_faults + 1,
+                )
+            )
+    return exp
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    from repro.experiments.report import render_experiment
+
+    print(render_experiment(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,70 @@
+"""Figure 15: aggressive (K=0) vs. conservative (K=3) scouting in TP.
+
+Both variants of Two-Phase routing under static node faults: the
+aggressive configuration keeps the scouting distance at 0 across unsafe
+channels (no acknowledgment flits at all, faults handled purely by
+detour construction), while the conservative configuration programs
+K = 3 — Theorem 2's sufficient distance — into every channel crossed
+after the first unsafe one, paying acknowledgment traffic for cheaper
+fault handling.
+
+Expected shape (paper): with one fault and low traffic the two versions
+coincide; with many faults and high traffic the aggressive variant is
+considerably better, because the K > 0 acknowledgment flit traffic
+dominates the cost of the extra detours it avoids.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import (
+    DEFAULT_LOADS,
+    Experiment,
+    Scale,
+    experiment_scale,
+    sweep_loads,
+)
+
+PAPER_FAULT_COUNTS = (1, 10, 20)
+
+VARIANTS = (
+    ("Aggressive", {"k_unsafe": 0}),
+    ("Conservative", {"k_unsafe": 3}),
+)
+
+
+def run(scale: Optional[Scale] = None,
+        loads: Sequence[float] = DEFAULT_LOADS,
+        fault_counts: Sequence[int] = PAPER_FAULT_COUNTS) -> Experiment:
+    scale = scale if scale is not None else experiment_scale()
+    exp = Experiment(
+        figure="Figure 15",
+        title="Aggressive (K=0) vs. Conservative (K=3) scouting, TP",
+        scale_name=scale.name,
+    )
+    for label, params in VARIANTS:
+        for paper_faults in fault_counts:
+            faults = scale.faults(paper_faults)
+            exp.series.append(
+                sweep_loads(
+                    scale,
+                    f"{label} ({paper_faults}F)",
+                    "tp",
+                    params,
+                    loads=loads,
+                    static_faults=faults,
+                    base_seed=1000 * paper_faults + 3,
+                )
+            )
+    return exp
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    from repro.experiments.report import render_experiment
+
+    print(render_experiment(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,101 @@
+"""Save / load experiment results as JSON.
+
+Figure regeneration is minutes of simulation; persisting the measured
+series lets downstream tooling (plotting, regression comparison against
+a previous run) consume them without re-simulating.  The format is a
+plain JSON document mirroring :class:`~repro.experiments.common.Experiment`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from typing import Union
+
+from repro.experiments.common import Experiment, Point, Series
+
+FORMAT_VERSION = 1
+
+
+def _point_to_dict(point: Point) -> dict:
+    def _clean(value: float):
+        if isinstance(value, float) and math.isnan(value):
+            return None
+        return value
+
+    return {
+        "offered_load": point.offered_load,
+        "latency": _clean(point.latency),
+        "latency_ci": _clean(point.latency_ci),
+        "throughput": point.throughput,
+        "delivered": point.delivered,
+        "dropped": point.dropped,
+        "killed": point.killed,
+        "extra": point.extra,
+    }
+
+
+def _point_from_dict(data: dict) -> Point:
+    def _restore(value):
+        return float("nan") if value is None else value
+
+    return Point(
+        offered_load=data["offered_load"],
+        latency=_restore(data["latency"]),
+        latency_ci=_restore(data["latency_ci"]),
+        throughput=data["throughput"],
+        delivered=data["delivered"],
+        dropped=data["dropped"],
+        killed=data["killed"],
+        extra=dict(data.get("extra", {})),
+    )
+
+
+def experiment_to_dict(exp: Experiment) -> dict:
+    return {
+        "format_version": FORMAT_VERSION,
+        "figure": exp.figure,
+        "title": exp.title,
+        "scale": exp.scale_name,
+        "series": [
+            {
+                "label": s.label,
+                "points": [_point_to_dict(p) for p in s.points],
+            }
+            for s in exp.series
+        ],
+    }
+
+
+def experiment_from_dict(data: dict) -> Experiment:
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported experiment format version {version!r}"
+        )
+    exp = Experiment(
+        figure=data["figure"],
+        title=data["title"],
+        scale_name=data["scale"],
+    )
+    for sdata in data["series"]:
+        series = Series(label=sdata["label"])
+        series.points = [_point_from_dict(p) for p in sdata["points"]]
+        exp.series.append(series)
+    return exp
+
+
+def save_experiment(exp: Experiment,
+                    path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write an experiment to a JSON file; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(experiment_to_dict(exp), indent=2))
+    return path
+
+
+def load_experiment(path: Union[str, pathlib.Path]) -> Experiment:
+    """Read an experiment saved by :func:`save_experiment`."""
+    data = json.loads(pathlib.Path(path).read_text())
+    return experiment_from_dict(data)

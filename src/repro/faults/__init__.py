@@ -1,0 +1,17 @@
+"""Fault model, fault injection, and recovery mechanisms."""
+
+from repro.faults.injection import (
+    DynamicFaultSchedule,
+    FaultEvent,
+    place_random_node_faults,
+    random_dynamic_schedule,
+)
+from repro.faults.model import FaultState
+
+__all__ = [
+    "DynamicFaultSchedule",
+    "FaultEvent",
+    "FaultState",
+    "place_random_node_faults",
+    "random_dynamic_schedule",
+]

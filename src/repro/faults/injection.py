@@ -1,0 +1,167 @@
+"""Fault placement and dynamic fault schedules (Sections 2.4, 6.2).
+
+The paper's static-fault experiments place N failed nodes "randomly
+throughout the network"; its dynamic-fault experiments "probabilistically
+insert f faults dynamically" during the run and compare against f/2
+static faults.  This module generates both kinds of scenarios:
+
+* :func:`place_random_node_faults` — random static node faults, with an
+  option to keep the healthy portion of the network connected (the
+  paper notes networks usually stay connected well past the 2n-1
+  theoretical budget, and undeliverable messages are handled by
+  recovery; keeping connectivity makes delivery statistics meaningful).
+* :class:`DynamicFaultSchedule` — fault events at random cycles on
+  random live links/nodes, driven by the engine each cycle.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.faults.model import FaultState
+from repro.network.topology import KAryNCube
+
+
+def place_random_node_faults(
+    fault_state: FaultState,
+    count: int,
+    rng: random.Random,
+    keep_connected: bool = True,
+    protected: Sequence[int] = (),
+    max_attempts: int = 10_000,
+) -> List[int]:
+    """Fail ``count`` random distinct nodes; returns the failed node ids.
+
+    With ``keep_connected`` the placement rejects nodes whose failure
+    would disconnect the healthy portion of the network (retrying up to
+    ``max_attempts`` candidate draws).  ``protected`` nodes are never
+    failed.
+    """
+    topo = fault_state.topology
+    if count < 0:
+        raise ValueError("fault count must be non-negative")
+    if count >= topo.num_nodes - len(protected):
+        raise ValueError("cannot fail that many nodes")
+    failed: List[int] = []
+    protected_set = set(protected)
+    attempts = 0
+    while len(failed) < count:
+        attempts += 1
+        if attempts > max_attempts:
+            raise RuntimeError(
+                f"could not place {count} faults after {max_attempts} attempts"
+            )
+        node = rng.randrange(topo.num_nodes)
+        if node in fault_state.faulty_nodes or node in protected_set:
+            continue
+        fault_state.fail_node(node)
+        if keep_connected and not fault_state.healthy_nodes_connected():
+            # Roll back: rebuild the fault state without this node.
+            _undo_last_node(fault_state, node, failed)
+            continue
+        failed.append(node)
+    return failed
+
+
+def _undo_last_node(
+    fault_state: FaultState, node: int, kept: Sequence[int]
+) -> None:
+    """Rebuild ``fault_state`` with ``node`` removed from the fault set.
+
+    FaultState does not support un-failing (real failures are
+    permanent), so placement rollback reconstructs the state from the
+    accepted set.
+    """
+    fresh = FaultState(fault_state.topology)
+    for kept_node in kept:
+        fresh.fail_node(kept_node)
+    fault_state.faulty_nodes = fresh.faulty_nodes
+    fault_state.faulty_links = fresh.faulty_links
+    fault_state.channel_faulty = fresh.channel_faulty
+    fault_state.channel_unsafe = fresh.channel_unsafe
+    fault_state.last_failed_channels = []
+
+
+@dataclass
+class FaultEvent:
+    """One dynamic failure, applied when the simulator reaches ``cycle``."""
+
+    cycle: int
+    kind: str  # "node" or "link"
+    target: int  # node id, or channel id for links
+
+    def apply(self, fault_state: FaultState) -> None:
+        if self.kind == "node":
+            fault_state.fail_node(self.target)
+        elif self.kind == "link":
+            fault_state.fail_link(self.target)
+        else:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+
+@dataclass
+class DynamicFaultSchedule:
+    """A time-ordered list of dynamic fault events."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+    _cursor: int = 0
+
+    def due(self, cycle: int) -> List[FaultEvent]:
+        """Events scheduled at or before ``cycle`` (consumed once)."""
+        due_events = []
+        while self._cursor < len(self.events) and (
+            self.events[self._cursor].cycle <= cycle
+        ):
+            due_events.append(self.events[self._cursor])
+            self._cursor += 1
+        return due_events
+
+    @property
+    def remaining(self) -> int:
+        return len(self.events) - self._cursor
+
+
+def random_dynamic_schedule(
+    topology: KAryNCube,
+    count: int,
+    horizon: int,
+    rng: random.Random,
+    kind: str = "link",
+    start_cycle: int = 0,
+) -> DynamicFaultSchedule:
+    """Schedule ``count`` dynamic faults uniformly over ``[start, horizon)``.
+
+    Link faults (the paper's Figure 16 scenario) pick a random physical
+    link; node faults pick a random node.  Targets may repeat draws but
+    duplicates are filtered so exactly ``count`` distinct components
+    fail.
+    """
+    if horizon <= start_cycle:
+        raise ValueError("horizon must be beyond start_cycle")
+    events: List[FaultEvent] = []
+    chosen = set()
+    guard = 0
+    while len(events) < count:
+        guard += 1
+        if guard > 100 * max(count, 1) + 100:
+            raise RuntimeError("could not draw enough distinct fault targets")
+        if kind == "link":
+            target = rng.randrange(topology.num_channels)
+            # Normalize to the link (unordered pair) so both directions
+            # count as one component.
+            rev = topology.reverse_channel_id(target)
+            key = (min(target, rev), max(target, rev))
+        elif kind == "node":
+            target = rng.randrange(topology.num_nodes)
+            key = ("node", target)
+        else:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        if key in chosen:
+            continue
+        chosen.add(key)
+        cycle = rng.randrange(start_cycle, horizon)
+        events.append(FaultEvent(cycle=cycle, kind=kind, target=target))
+    events.sort(key=lambda e: e.cycle)
+    return DynamicFaultSchedule(events=events)

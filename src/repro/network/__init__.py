@@ -1,0 +1,25 @@
+"""Network substrate: topology, virtual channels, physical links."""
+
+from repro.network.channel import (
+    ChannelBank,
+    ChannelStateError,
+    VCClass,
+    VCState,
+    VirtualChannel,
+)
+from repro.network.link import ControlQueue, RoundRobinArbiter
+from repro.network.topology import Channel, KAryNCube, MINUS, PLUS
+
+__all__ = [
+    "Channel",
+    "ChannelBank",
+    "ChannelStateError",
+    "ControlQueue",
+    "KAryNCube",
+    "MINUS",
+    "PLUS",
+    "RoundRobinArbiter",
+    "VCClass",
+    "VCState",
+    "VirtualChannel",
+]

@@ -1,0 +1,116 @@
+"""Physical-channel bandwidth allocation (paper Sections 2.1, 2.3).
+
+Each unidirectional physical channel moves at most one flit per cycle.
+Virtual channels share that bandwidth flit-by-flit in a demand-driven
+manner (Dally virtual-channel flow control [6]); the single multiplexed
+virtual *control* channel of the link (Figure 2b) takes priority over
+data channels because control flits are a small fraction of traffic and
+gate protocol progress.
+
+This module provides the two mechanisms the engine composes per link:
+
+* :class:`ControlQueue` — the multiplexed control channel: a FIFO of
+  control flits (headers, acks, kills, tail-acks, resume tokens)
+  awaiting their turn on the physical wires, drained one per cycle.
+* :class:`RoundRobinArbiter` — fair demand-driven selection among the
+  data VCs that have a flit ready and downstream buffer space.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class ControlQueue(Generic[T]):
+    """FIFO of control flits waiting to cross one physical channel.
+
+    The paper multiplexes all corresponding and complementary channels
+    of a link through a single virtual control channel; arrival order is
+    preserved and one control flit crosses per cycle.
+    """
+
+    __slots__ = ("_queue", "sent")
+
+    def __init__(self) -> None:
+        self._queue: Deque[T] = deque()
+        #: Total control flits that crossed this channel (statistic).
+        self.sent = 0
+
+    def push(self, token: T) -> None:
+        self._queue.append(token)
+
+    def pop(self) -> T:
+        self.sent += 1
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def peek(self) -> Optional[T]:
+        return self._queue[0] if self._queue else None
+
+    def drain(self) -> List[T]:
+        """Remove and return all queued tokens (teardown support)."""
+        items = list(self._queue)
+        self._queue.clear()
+        return items
+
+
+class RoundRobinArbiter:
+    """Rotating-priority arbiter over a fixed number of requesters.
+
+    Mirrors the demand-driven, flit-by-flit physical bandwidth
+    allocation of [6]: the requester after the most recent winner has
+    the highest priority, so every VC with pending flits gets a fair
+    share of the link.
+    """
+
+    __slots__ = ("size", "_next")
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("arbiter needs at least one requester")
+        self.size = size
+        self._next = 0
+
+    def grant(self, requests: Sequence[bool]) -> Optional[int]:
+        """Pick the next requester in round-robin order, or ``None``.
+
+        ``requests[i]`` is True when requester ``i`` wants the resource
+        this cycle.
+        """
+        if len(requests) != self.size:
+            raise ValueError(
+                f"expected {self.size} request lines, got {len(requests)}"
+            )
+        for offset in range(self.size):
+            idx = (self._next + offset) % self.size
+            if requests[idx]:
+                self._next = (idx + 1) % self.size
+                return idx
+        return None
+
+    def grant_from(self, candidates: Sequence[int]) -> Optional[int]:
+        """Round-robin grant when requests arrive as a candidate list.
+
+        ``candidates`` holds requester indices (possibly unsorted).
+        Returns the winning index or ``None`` when empty.
+        """
+        if not candidates:
+            return None
+        best = None
+        best_rank = self.size
+        for idx in candidates:
+            rank = (idx - self._next) % self.size
+            if rank < best_rank:
+                best_rank = rank
+                best = idx
+        assert best is not None
+        self._next = (best + 1) % self.size
+        return best

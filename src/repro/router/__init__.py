@@ -1,0 +1,37 @@
+"""Router microarchitecture (Section 5.0): structural models of the
+LCU, DIBU/DOBU/CIBU/COBU buffers, crossbar, RCU (decision unit, unsafe
+store, history store), and CMU, assembled by
+:class:`repro.router.model.RouterModel`.
+"""
+
+from repro.router.buffers import (
+    BufferBlocked,
+    BufferOverflow,
+    BufferUnderflow,
+    ChannelBuffers,
+    FlitFifo,
+)
+from repro.router.cmu import CounterManagementUnit, VCCounter
+from repro.router.crossbar import Crossbar, CrossbarConflict
+from repro.router.lcu import CONTROL_SLOT, InputLinkControlUnit, LinkControlUnit
+from repro.router.model import RouterModel
+from repro.router.rcu import HistoryStore, RoutingControlUnit, UnsafeStore
+
+__all__ = [
+    "BufferBlocked",
+    "BufferOverflow",
+    "BufferUnderflow",
+    "CONTROL_SLOT",
+    "ChannelBuffers",
+    "CounterManagementUnit",
+    "Crossbar",
+    "CrossbarConflict",
+    "FlitFifo",
+    "HistoryStore",
+    "InputLinkControlUnit",
+    "LinkControlUnit",
+    "RouterModel",
+    "RoutingControlUnit",
+    "UnsafeStore",
+    "VCCounter",
+]

@@ -1,0 +1,101 @@
+"""Router flit buffers: DIBU / DOBU / CIBU / COBU (Section 5.0, Fig 8).
+
+Each input and output physical channel of the router has a link control
+unit feeding FIFO buffers: one data buffer per virtual channel (DIBU on
+the input side, DOBU on the output side) and a single control buffer
+(CIBU/COBU) for the multiplexed control channel.  The DIBU's *output
+enable* is driven by the routing control unit — this is the hook the
+counter management unit uses to block data flits until the scouting
+counter reaches K (Figure 11).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class FlitFifo(Generic[T]):
+    """A bounded FIFO flit buffer with an RCU-controlled output enable."""
+
+    def __init__(self, capacity: int, name: str = ""):
+        if capacity < 1:
+            raise ValueError("buffer capacity must be >= 1")
+        self.capacity = capacity
+        self.name = name
+        self._flits: Deque[T] = deque()
+        #: Output enable, driven by the RCU (Figure 11's enable lines).
+        self.output_enabled = True
+
+    def __len__(self) -> int:
+        return len(self._flits)
+
+    @property
+    def full(self) -> bool:
+        return len(self._flits) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._flits
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._flits)
+
+    def push(self, flit: T) -> None:
+        if self.full:
+            raise BufferOverflow(
+                f"{self.name or 'buffer'} overflow (capacity {self.capacity})"
+            )
+        self._flits.append(flit)
+
+    def peek(self) -> Optional[T]:
+        return self._flits[0] if self._flits else None
+
+    def pop(self) -> T:
+        """Remove the head flit; requires the output enable asserted."""
+        if not self.output_enabled:
+            raise BufferBlocked(
+                f"{self.name or 'buffer'} output is disabled by the RCU"
+            )
+        if not self._flits:
+            raise BufferUnderflow(f"{self.name or 'buffer'} is empty")
+        return self._flits.popleft()
+
+    def clear(self) -> None:
+        """Discard contents (kill-flit resource recovery)."""
+        self._flits.clear()
+
+
+class BufferOverflow(RuntimeError):
+    """Pushed into a full flit buffer (a flow-control violation)."""
+
+
+class BufferUnderflow(RuntimeError):
+    """Popped from an empty flit buffer."""
+
+
+class BufferBlocked(RuntimeError):
+    """Popped from a buffer whose output enable is deasserted."""
+
+
+class ChannelBuffers:
+    """The buffer set of one physical channel side (input or output).
+
+    ``data[i]`` is the DIBU/DOBU of virtual channel ``i``; ``control``
+    is the single multiplexed CIBU/COBU.
+    """
+
+    def __init__(self, num_vcs: int, data_depth: int, control_depth: int,
+                 side: str = "in"):
+        prefix = "DIBU" if side == "in" else "DOBU"
+        cprefix = "CIBU" if side == "in" else "COBU"
+        self.data = [
+            FlitFifo(data_depth, name=f"{prefix}{i}") for i in range(num_vcs)
+        ]
+        self.control = FlitFifo(control_depth, name=cprefix)
+
+    def data_occupancy(self) -> int:
+        return sum(len(b) for b in self.data)

@@ -1,0 +1,111 @@
+"""Counter management unit (Section 5.0).
+
+One counter and one programmable K register per data virtual channel:
+a positive acknowledgment for the circuit mapped onto the channel
+increments the counter, a negative acknowledgment decrements it, and
+data flits are enabled to flow (the DIBU output enable of Figure 11)
+once the counter reaches K.  For K = 3 — Theorem 2's sufficient
+scouting distance — a two-bit counter suffices, and the hardware model
+enforces the configured width by saturating.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.theorems import cmu_counter_bits
+
+
+class VCCounter:
+    """One virtual channel's acknowledgment counter + K register."""
+
+    __slots__ = ("bits", "k", "value", "circuit")
+
+    def __init__(self, bits: int):
+        if bits < 1:
+            raise ValueError("counter width must be >= 1 bit")
+        self.bits = bits
+        self.k = 0
+        self.value = 0
+        #: Message id of the circuit currently mapped onto this VC.
+        self.circuit: Optional[int] = None
+
+    @property
+    def max_value(self) -> int:
+        return (1 << self.bits) - 1
+
+    def program(self, circuit: int, k: int) -> None:
+        """Map a circuit onto the VC and program its scouting distance."""
+        if k > self.max_value:
+            raise ValueError(
+                f"K={k} does not fit a {self.bits}-bit counter"
+            )
+        self.circuit = circuit
+        self.k = k
+        self.value = 0
+
+    def positive_ack(self) -> None:
+        self.value = min(self.max_value, self.value + 1)
+
+    def negative_ack(self) -> None:
+        self.value = max(0, self.value - 1)
+
+    @property
+    def data_enabled(self) -> bool:
+        """Counter reached K: data flits may advance (Figure 11)."""
+        return self.value >= self.k
+
+    def release(self) -> None:
+        self.circuit = None
+        self.k = 0
+        self.value = 0
+
+
+class CounterManagementUnit:
+    """The per-router bank of VC counters (all counters live in the CMU).
+
+    Indexed by (input port, virtual channel); acknowledgments arriving
+    for a circuit are routed to the counter of the data VC the circuit
+    occupies.
+    """
+
+    def __init__(self, num_ports: int, num_vcs: int, max_k: int = 3):
+        bits = max(1, cmu_counter_bits(max_k))
+        self.max_k = max_k
+        self.counters: List[List[VCCounter]] = [
+            [VCCounter(bits) for _ in range(num_vcs)]
+            for _ in range(num_ports)
+        ]
+        self._by_circuit: Dict[int, VCCounter] = {}
+
+    def counter(self, port: int, vc: int) -> VCCounter:
+        return self.counters[port][vc]
+
+    def program(self, port: int, vc: int, circuit: int, k: int) -> None:
+        counter = self.counters[port][vc]
+        counter.program(circuit, k)
+        self._by_circuit[circuit] = counter
+
+    def ack_arrived(self, circuit: int, positive: bool = True) -> bool:
+        """Route an acknowledgment to its circuit's counter.
+
+        Returns False when no counter is mapped (the circuit was torn
+        down); the ack is then dropped, as in the engine.
+        """
+        counter = self._by_circuit.get(circuit)
+        if counter is None:
+            return False
+        if positive:
+            counter.positive_ack()
+        else:
+            counter.negative_ack()
+        return True
+
+    def data_enabled(self, circuit: int) -> bool:
+        counter = self._by_circuit.get(circuit)
+        return counter.data_enabled if counter is not None else False
+
+    def release(self, circuit: int) -> None:
+        counter = self._by_circuit.pop(circuit, None)
+        if counter is not None:
+            counter.release()

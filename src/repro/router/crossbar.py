@@ -1,0 +1,66 @@
+"""Router crossbar (Figure 8).
+
+Data flits move from the DIBUs to the DOBUs through an internal
+crossbar switch.  The routing control unit maps an input (port, VC) to
+an output (port, VC) when a header is routed; the crossbar guarantees
+each output is driven by at most one input and transfers one flit per
+mapped pair per cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+Port = Tuple[int, int]  # (physical port, virtual channel)
+
+
+class CrossbarConflict(RuntimeError):
+    """Two circuits mapped to the same crossbar output."""
+
+
+class Crossbar:
+    """Input->output mapping of data virtual channels."""
+
+    def __init__(self, num_ports: int, num_vcs: int):
+        self.num_ports = num_ports
+        self.num_vcs = num_vcs
+        self._forward: Dict[Port, Port] = {}
+        self._reverse: Dict[Port, Port] = {}
+
+    def connect(self, src: Port, dst: Port) -> None:
+        """Map input VC ``src`` to output VC ``dst`` (RCU action)."""
+        self._check(src)
+        self._check(dst)
+        if src in self._forward:
+            raise CrossbarConflict(f"input {src} is already mapped")
+        if dst in self._reverse:
+            raise CrossbarConflict(
+                f"output {dst} is already driven by {self._reverse[dst]}"
+            )
+        self._forward[src] = dst
+        self._reverse[dst] = src
+
+    def disconnect(self, src: Port) -> None:
+        """Remove a mapping (tail flit passed / path released)."""
+        dst = self._forward.pop(src, None)
+        if dst is not None:
+            self._reverse.pop(dst, None)
+
+    def output_for(self, src: Port) -> Optional[Port]:
+        return self._forward.get(src)
+
+    def input_for(self, dst: Port) -> Optional[Port]:
+        return self._reverse.get(dst)
+
+    @property
+    def connections(self) -> List[Tuple[Port, Port]]:
+        return sorted(self._forward.items())
+
+    def is_permutation_valid(self) -> bool:
+        """Every output driven by exactly one input (structural check)."""
+        return len(self._forward) == len(self._reverse)
+
+    def _check(self, port: Port) -> None:
+        p, v = port
+        if not (0 <= p < self.num_ports and 0 <= v < self.num_vcs):
+            raise ValueError(f"port {port} out of range")

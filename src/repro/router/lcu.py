@@ -1,0 +1,73 @@
+"""Link control unit (Section 5.0, Figure 8).
+
+One LCU per physical channel direction.  On the output side it
+allocates the physical channel's flit slots among the resident virtual
+channels — control first (the multiplexed control channel gates
+protocol progress and is a small fraction of traffic), then data VCs
+demand-driven round-robin [6].  On the input side it demultiplexes
+arriving flits into the per-VC DIBUs / the CIBU.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.network.link import RoundRobinArbiter
+from repro.router.buffers import ChannelBuffers
+
+#: Sentinel VC index meaning "the control channel won the slot".
+CONTROL_SLOT = -1
+
+
+class LinkControlUnit:
+    """Output-side physical channel scheduler for one link direction."""
+
+    def __init__(self, num_vcs: int):
+        self.num_vcs = num_vcs
+        self.arbiter = RoundRobinArbiter(num_vcs)
+        self.control_sent = 0
+        self.data_sent = 0
+
+    def allocate(self, control_pending: bool,
+                 data_requests: Sequence[bool],
+                 credits: Sequence[int]) -> Optional[int]:
+        """Pick this cycle's flit: CONTROL_SLOT, a VC index, or None.
+
+        ``data_requests[i]`` — VC i has a flit at its DOBU head;
+        ``credits[i]`` — downstream DIBU slots available for VC i.
+        """
+        if control_pending:
+            self.control_sent += 1
+            return CONTROL_SLOT
+        if len(data_requests) != self.num_vcs or len(credits) != self.num_vcs:
+            raise ValueError("request/credit vectors must match VC count")
+        eligible = [
+            data_requests[i] and credits[i] > 0 for i in range(self.num_vcs)
+        ]
+        winner = self.arbiter.grant(eligible)
+        if winner is not None:
+            self.data_sent += 1
+        return winner
+
+
+class InputLinkControlUnit:
+    """Input-side demultiplexer into the per-VC DIBUs and the CIBU."""
+
+    def __init__(self, buffers: ChannelBuffers):
+        self.buffers = buffers
+        self.received = 0
+
+    def receive(self, vc_index: int, flit) -> None:
+        """Steer an arriving flit into its buffer.
+
+        ``vc_index == CONTROL_SLOT`` routes to the CIBU.
+        """
+        if vc_index == CONTROL_SLOT:
+            self.buffers.control.push(flit)
+        else:
+            self.buffers.data[vc_index].push(flit)
+        self.received += 1
+
+    def credits(self) -> Sequence[int]:
+        """Free DIBU slots per VC (returned upstream as flow control)."""
+        return [b.free_slots for b in self.buffers.data]

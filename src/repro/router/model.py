@@ -1,0 +1,139 @@
+"""Block-level router model assembling the Section 5.0 datapath.
+
+:class:`RouterModel` wires the structural pieces of Figure 8 together:
+per-channel LCUs and buffer sets, the crossbar, the RCU with its
+unsafe/history stores, and the CMU counter bank.  It models one
+router's header-processing datapath end to end — decode, decide (via a
+pluggable decision callable), crossbar mapping, counter programming,
+header update, output buffering — and is used by the architecture
+tests to verify the hardware cost claims (header width, counter width,
+store sizes) and block interactions.
+
+The cycle-accurate *network* behaviour lives in
+:mod:`repro.sim.engine`, which implements the same mechanisms in a
+message-centric form for speed; this model is the per-router
+structural view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.core.header import Header, encode
+from repro.router.buffers import ChannelBuffers
+from repro.router.cmu import CounterManagementUnit
+from repro.router.crossbar import Crossbar
+from repro.router.lcu import CONTROL_SLOT, InputLinkControlUnit, LinkControlUnit
+from repro.router.rcu import RoutingControlUnit
+
+#: decision(header) -> (out_port, out_vc, dim, direction, k, misroute)
+DecisionFn = Callable[[Header, int, int], Optional[Tuple[int, int, int, int, int, bool]]]
+
+
+@dataclass
+class RoutedHeader:
+    """Result of one header pass through the router datapath."""
+
+    word: int
+    out_port: int
+    out_vc: int
+
+
+class RouterModel:
+    """One router: 2n network ports + the PE port."""
+
+    def __init__(self, k: int, n: int, num_vcs: int = 3,
+                 data_depth: int = 2, control_depth: int = 8,
+                 max_k: int = 3):
+        self.rcu = RoutingControlUnit(k, n, num_vcs)
+        ports = self.rcu.num_ports
+        self.num_vcs = num_vcs
+        self.inputs = [
+            ChannelBuffers(num_vcs, data_depth, control_depth, side="in")
+            for _ in range(ports)
+        ]
+        self.outputs = [
+            ChannelBuffers(num_vcs, data_depth, control_depth, side="out")
+            for _ in range(ports)
+        ]
+        self.input_lcus = [InputLinkControlUnit(b) for b in self.inputs]
+        self.output_lcus = [LinkControlUnit(num_vcs) for _ in range(ports)]
+        self.crossbar = Crossbar(ports, num_vcs)
+        self.cmu = CounterManagementUnit(ports, num_vcs, max_k=max_k)
+
+    # ------------------------------------------------------------------
+    # Header datapath
+    # ------------------------------------------------------------------
+    def process_header(self, word: int, in_port: int, in_vc: int,
+                       circuit: int, decide: DecisionFn) -> Optional[RoutedHeader]:
+        """Run one header through decode -> decision -> map -> encode.
+
+        Returns ``None`` when the decision blocks (header stays in the
+        RCU pending set).  The decision callable plays the role of the
+        protocol logic in the RCU's decision unit.
+        """
+        header = self.rcu.decode_header(word)
+        choice = decide(header, in_port, in_vc)
+        if choice is None:
+            return None
+        out_port, out_vc, dim, direction, k, misroute = choice
+        self.crossbar.connect((in_port, in_vc), (out_port, out_vc))
+        self.cmu.program(out_port, out_vc, circuit, k)
+        new_word = self.rcu.update_header(header, dim, direction, misroute)
+        self.outputs[out_port].control.push(new_word)
+        return RoutedHeader(word=new_word, out_port=out_port, out_vc=out_vc)
+
+    def backtrack_header(self, word: int, in_port: int, in_vc: int,
+                         circuit: int, out_port: int) -> int:
+        """Undo a hop: record history, tear the mapping, re-encode."""
+        header = self.rcu.decode_header(word)
+        header.backtrack = True
+        self.rcu.history_store.record(in_port, in_vc, out_port)
+        self.crossbar.disconnect((in_port, in_vc))
+        self.cmu.release(circuit)
+        return encode(header, self.rcu.k)
+
+    # ------------------------------------------------------------------
+    # Data datapath
+    # ------------------------------------------------------------------
+    def data_gate_open(self, circuit: int) -> bool:
+        """Figure 11: DIBU output enable from the CMU counter."""
+        return self.cmu.data_enabled(circuit)
+
+    def transfer_data_flit(self, in_port: int, in_vc: int) -> bool:
+        """Move one data flit input DIBU -> mapped output DOBU."""
+        dst = self.crossbar.output_for((in_port, in_vc))
+        if dst is None:
+            return False
+        src_buf = self.inputs[in_port].data[in_vc]
+        dst_buf = self.outputs[dst[0]].data[dst[1]]
+        if src_buf.empty or dst_buf.full or not src_buf.output_enabled:
+            return False
+        dst_buf.push(src_buf.pop())
+        return True
+
+    def allocate_output(self, port: int) -> Optional[int]:
+        """One physical-channel slot for an output LCU this cycle."""
+        out = self.outputs[port]
+        return self.output_lcus[port].allocate(
+            control_pending=not out.control.empty,
+            data_requests=[not b.empty for b in out.data],
+            credits=[b.free_slots for b in out.data],
+        )
+
+    # ------------------------------------------------------------------
+    # Hardware-cost summary (the Section 5.0 claims)
+    # ------------------------------------------------------------------
+    def hardware_summary(self) -> dict:
+        return {
+            "header_bits": self.rcu.header_width_bits,
+            "unsafe_store_bits": self.rcu.unsafe_store.size_bits,
+            "history_store_bits": self.rcu.history_store.size_bits,
+            "counter_bits_per_vc": self.cmu.counters[0][0].bits,
+            "ports": self.rcu.num_ports,
+            "vcs_per_port": self.num_vcs,
+        }
+
+
+__all__ = ["RouterModel", "RoutedHeader", "CONTROL_SLOT"]

@@ -1,0 +1,118 @@
+"""Routing control unit (Section 5.0, Figure 10).
+
+The RCU receives routing headers from the control input buffers,
+decodes them, consults the *unsafe channel store* (one status bit per
+physical channel) and the *history store* (output channels already
+searched by the circuit on each input VC), runs the routing decision,
+maps the input VC to the selected output VC in the crossbar, updates
+the header (offsets, misroute count, SR/detour/backtrack bits), and
+hands it to the output arbitration unit.
+
+This module is the structural model of the hardware blocks; the
+cycle-accurate behaviour of the decisions themselves lives in the
+protocol classes (:mod:`repro.routing`, :mod:`repro.core.two_phase`),
+which the performance engine drives directly.  The stores here are
+exercised by the router-architecture tests to pin down the hardware
+cost (store sizes, header bit widths) that Section 5.0 reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.core.header import Header, decode, encode, header_bits
+
+
+class UnsafeStore:
+    """One unsafe status bit per physical channel of the router."""
+
+    def __init__(self, num_ports: int):
+        self._bits = [False] * num_ports
+
+    def mark(self, port: int, unsafe: bool = True) -> None:
+        self._bits[port] = unsafe
+
+    def is_unsafe(self, port: int) -> bool:
+        return self._bits[port]
+
+    @property
+    def size_bits(self) -> int:
+        return len(self._bits)
+
+
+class HistoryStore:
+    """Searched output channels, indexed by input virtual channel.
+
+    When a backtracking header returns over an input VC, the output it
+    had taken is recorded so the depth-first search never re-takes it;
+    the entry clears when the circuit releases the VC.
+    """
+
+    def __init__(self, num_ports: int, num_vcs: int):
+        self.num_ports = num_ports
+        self.num_vcs = num_vcs
+        self._searched: Dict[Tuple[int, int], Set[int]] = {}
+
+    def record(self, in_port: int, in_vc: int, out_port: int) -> None:
+        self._check(in_port, in_vc, out_port)
+        self._searched.setdefault((in_port, in_vc), set()).add(out_port)
+
+    def searched(self, in_port: int, in_vc: int) -> Set[int]:
+        return self._searched.get((in_port, in_vc), set())
+
+    def clear(self, in_port: int, in_vc: int) -> None:
+        self._searched.pop((in_port, in_vc), None)
+
+    @property
+    def size_bits(self) -> int:
+        """Worst-case store size: one bit per output per input VC."""
+        return self.num_ports * self.num_vcs * self.num_ports
+
+    def _check(self, in_port: int, in_vc: int, out_port: int) -> None:
+        if not (
+            0 <= in_port < self.num_ports
+            and 0 <= in_vc < self.num_vcs
+            and 0 <= out_port < self.num_ports
+        ):
+            raise ValueError("port/vc out of range")
+
+
+class RoutingControlUnit:
+    """Decode/update datapath of the RCU around a routing decision."""
+
+    def __init__(self, k: int, n: int, num_vcs: int):
+        self.k = k
+        self.n = n
+        #: 2n network ports plus the PE port.
+        self.num_ports = 2 * n + 1
+        self.num_vcs = num_vcs
+        self.unsafe_store = UnsafeStore(self.num_ports)
+        self.history_store = HistoryStore(self.num_ports, num_vcs)
+
+    @property
+    def header_width_bits(self) -> int:
+        """Width of the routing header flit (Figure 9)."""
+        return header_bits(self.k, self.n)
+
+    def decode_header(self, word: int) -> Header:
+        return decode(word, self.k, self.n)
+
+    def update_header(self, header: Header, dim: int, direction: int,
+                      misroute: bool = False) -> int:
+        """Apply a hop to a header and re-encode it for the COBU."""
+        if misroute:
+            header.misroutes += 1
+        header.apply_hop(dim, direction, self.k)
+        return encode(header, self.k)
+
+    def port_of(self, dim: int, direction: int) -> int:
+        """Physical port index of a (dimension, direction) pair."""
+        if not 0 <= dim < self.n:
+            raise ValueError(f"dimension {dim} out of range")
+        if direction not in (+1, -1):
+            raise ValueError("direction must be +1 or -1")
+        return 2 * dim + (0 if direction == +1 else 1)
+
+    @property
+    def pe_port(self) -> int:
+        return self.num_ports - 1

@@ -1,0 +1,11 @@
+"""Routing protocols: Duato's Protocol, MB-m, and building blocks.
+
+Protocol classes are importable from their concrete modules (and the
+Two-Phase protocol from :mod:`repro.core.two_phase`); this package
+``__init__`` only re-exports the interface types to avoid import
+cycles with :mod:`repro.sim`.
+"""
+
+from repro.routing.base import Action, Decision, RoutingContext
+
+__all__ = ["Action", "Decision", "RoutingContext"]

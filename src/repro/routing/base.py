@@ -1,0 +1,91 @@
+"""Routing-protocol interface shared by DP, MB-m, and Two-Phase routing.
+
+Each cycle, the engine presents every pending routing header to its
+protocol's :meth:`RoutingProtocol.decide`, which returns one of:
+
+* ``RESERVE`` — take the given virtual channel (the routing function's
+  candidate set filtered through the selection function); the engine
+  reserves it, programs its scouting distance, and forwards the header;
+* ``WAIT`` — block in place and re-evaluate next cycle (wormhole
+  blocking on a busy deterministic channel, or a source-side retry
+  backoff);
+* ``BACKTRACK`` — release the most recent channel and step the header
+  one hop toward the source (only protocols with decoupled headers);
+* ``ABORT`` — give up on the current attempt; the engine tears the
+  path down and either requeues the message at the source or drops it.
+
+Protocols are stateless across messages: every per-message scratch
+value (history store contents, detour stack, mode bits) lives on the
+:class:`~repro.sim.message.Message`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Protocol, Tuple
+
+from repro.core.flow_control import FlowControlConfig
+from repro.faults.model import FaultState
+from repro.network.channel import ChannelBank, VirtualChannel
+from repro.network.topology import KAryNCube
+from repro.sim.message import Message
+
+
+class Action(enum.Enum):
+    RESERVE = 0
+    WAIT = 1
+    BACKTRACK = 2
+    ABORT = 3
+
+
+@dataclass
+class Decision:
+    action: Action
+    #: For RESERVE: the chosen virtual channel.
+    vc: Optional[VirtualChannel] = None
+    #: For RESERVE: the port taken, as (dim, direction).
+    port: Optional[Tuple[int, int]] = None
+    #: For RESERVE: scouting distance K to program into the channel.
+    k: int = 0
+    #: For RESERVE: reserve with the data gate held closed (channels
+    #: accepted during detour construction are all-or-nothing).
+    hold: bool = False
+    #: For RESERVE: the hop moves the header away from its destination.
+    is_misroute: bool = False
+    #: For ABORT: human-readable reason recorded on the message.
+    reason: str = ""
+
+
+WAIT = Decision(action=Action.WAIT)
+
+
+class RoutingContext:
+    """Read-only view of the network handed to routing decisions."""
+
+    __slots__ = ("topology", "faults", "channels", "cycle")
+
+    def __init__(self, topology: KAryNCube, faults: FaultState,
+                 channels: ChannelBank, cycle: int = 0):
+        self.topology = topology
+        self.faults = faults
+        self.channels = channels
+        self.cycle = cycle
+
+
+class RoutingProtocol(Protocol):
+    """Interface implemented by every routing protocol."""
+
+    #: Whether the header travels in-band on data channels (pure
+    #: wormhole) instead of on the control channels.
+    inline_header: bool
+    #: Flow-control programming used by this protocol.
+    flow_control: FlowControlConfig
+
+    def decide(self, ctx: RoutingContext, message: Message) -> Decision:
+        """Routing function + selection function for one pending header."""
+        ...
+
+    def on_arrival(self, ctx: RoutingContext, message: Message) -> None:
+        """Hook invoked when the header arrives at a new router."""
+        ...

@@ -1,0 +1,81 @@
+"""Deterministic dimension-order (e-cube) routing with dateline classes.
+
+Duato's Protocol partitions each physical channel's virtual channels
+into a *restricted* deterministic set and an *unrestricted* adaptive
+set (Section 4.0).  The deterministic set must itself be deadlock-free;
+on a torus the standard construction is dimension-order routing with
+two virtual-channel classes per ring and a *dateline*: a message uses
+class 0 while its remaining deterministic path along the current ring
+still has to cross the wrap-around link, and class 1 once it has
+crossed (or never will).  Class 1 therefore never uses a wrap link and
+class 0 never uses the link leaving the destination-side segment, so
+neither class closes a cycle on any ring.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.network.channel import VCClass
+from repro.network.topology import KAryNCube, MINUS, PLUS
+
+
+def next_hop(topology: KAryNCube, node: int, dst: int) -> Optional[Tuple[int, int]]:
+    """Dimension-order next port from ``node`` toward ``dst``.
+
+    Corrects dimensions lowest-first; returns ``None`` at the
+    destination.  The direction is the shortest way around the ring
+    (positive on ties), matching :meth:`KAryNCube.offset`.
+    """
+    for dim in range(topology.n):
+        off = topology.offset(node, dst, dim)
+        if off > 0:
+            return (dim, PLUS)
+        if off < 0:
+            return (dim, MINUS)
+    return None
+
+
+def crosses_wrap(topology: KAryNCube, node: int, dst: int, dim: int,
+                 direction: int) -> bool:
+    """Whether the remaining ring path ``node -> dst`` along ``dim`` in
+    ``direction`` still has to cross the wrap-around (dateline) link.
+
+    The dateline sits on the ``k-1 -> 0`` edge for the positive
+    direction and the ``0 -> k-1`` edge for the negative direction.
+    """
+    k = topology.k
+    c = topology.coords(node)[dim]
+    t = topology.coords(dst)[dim]
+    if c == t:
+        return False
+    if direction == PLUS:
+        return c > t  # must pass k-1 -> 0 before reaching t
+    return c < t      # must pass 0 -> k-1 before reaching t
+
+
+def dateline_class(topology: KAryNCube, node: int, dst: int, dim: int,
+                   direction: int) -> VCClass:
+    """Deterministic VC class for the hop leaving ``node`` along a ring.
+
+    Class 0 while the wrap crossing is still ahead, class 1 afterwards
+    (and for paths that never wrap).
+    """
+    if crosses_wrap(topology, node, dst, dim, direction):
+        return VCClass.DETERMINISTIC_0
+    return VCClass.DETERMINISTIC_1
+
+
+def deterministic_route(topology: KAryNCube, node: int,
+                        dst: int) -> Optional[Tuple[int, int, VCClass]]:
+    """The deterministic escape hop: port plus dateline class.
+
+    This is the channel Duato's Protocol falls back to when no adaptive
+    candidate is available; it is recomputed from the *current* node, so
+    a message that progressed adaptively still has a valid escape path.
+    """
+    hop = next_hop(topology, node, dst)
+    if hop is None:
+        return None
+    dim, direction = hop
+    return (dim, direction, dateline_class(topology, node, dst, dim, direction))

@@ -1,0 +1,113 @@
+"""MB-m: misrouting backtracking protocol over PCS flow control [17].
+
+The conservative baseline of the paper's evaluation.  The routing
+header performs path setup decoupled from data transmission (pipelined
+circuit switching): it searches the network depth-first with at most
+``m`` misroutes, backtracking — and releasing channels — when stuck,
+with a per-node history (the RCU history store) preventing re-searching
+output channels already tried on the current path.  Data flits enter
+the network only after the header reaches the destination and a path
+acknowledgment returns to the source, which makes the protocol
+extremely robust but costs the ``3l`` setup latency of Section 2.2.
+
+Because the header never blocks holding partially built paths (it
+misroutes or backtracks instead), MB-m needs no virtual-channel class
+partition for deadlock freedom; it draws from every VC of a physical
+channel.  A search that exhausts the budget retreats to the source and
+retries after a backoff; a bounded number of failed attempts marks the
+message undeliverable (the higher-level-protocol escape of Section
+4.0).
+"""
+
+from __future__ import annotations
+
+from repro.core.flow_control import FlowControlConfig
+from repro.routing.base import WAIT, Action, Decision, RoutingContext
+from repro.routing.selection import free_vc_any_class, misroute_ports
+from repro.sim.message import Message
+
+#: Default misroute budget; Theorem 2 shows 6 suffices to search every
+#: input link of the destination within a plane.
+DEFAULT_MISROUTE_LIMIT = 6
+
+
+class MBmProtocol:
+    """Misrouting, backtracking protocol with ``m`` misroutes (PCS)."""
+
+    name = "mb"
+    inline_header = False
+
+    def __init__(self, misroute_limit: int = DEFAULT_MISROUTE_LIMIT,
+                 retry_backoff: int = 16, max_retries: int = 3):
+        if misroute_limit < 0:
+            raise ValueError("misroute limit must be non-negative")
+        self.misroute_limit = misroute_limit
+        self.retry_backoff = retry_backoff
+        self.max_retries = max_retries
+        self.flow_control = FlowControlConfig.pcs()
+
+    def on_arrival(self, ctx: RoutingContext, message: Message) -> None:
+        """History is initialized per visited node by the engine."""
+
+    def decide(self, ctx: RoutingContext, message: Message) -> Decision:
+        if ctx.cycle < message.retry_wait:
+            return WAIT
+
+        topo = ctx.topology
+        node = message.current_node()
+        dst = message.dst
+        j = message.header_router
+        tried = message.tried[j]
+        # Self-avoiding depth-first search: never re-enter a node on
+        # the current path (the walk would cycle); backtracking is the
+        # only way back.
+        on_path = set(message.path_nodes)
+
+        # Profitable, healthy, not-yet-searched channels with a free VC.
+        for dim, direction in topo.profitable_ports(node, dst):
+            ch = topo.channel_id(node, dim, direction)
+            if ctx.faults.channel_faulty[ch] or ch in tried:
+                continue
+            if topo.channel(ch).dst in on_path:
+                continue
+            vc = free_vc_any_class(ctx, ch)
+            if vc is not None:
+                return Decision(
+                    action=Action.RESERVE, vc=vc, port=(dim, direction)
+                )
+
+        # Misroute (preferred over backtracking, Section 3.0) while the
+        # budget allows; U-turns are not taken — MB-m backtracks instead.
+        if message.header.misroutes < self.misroute_limit:
+            arrival = message.arrival_dims[j]
+            for dim, direction in misroute_ports(
+                ctx, node, dst, arrival, allow_u_turn=False
+            ):
+                ch = topo.channel_id(node, dim, direction)
+                if ch in tried:
+                    continue
+                if topo.channel(ch).dst in on_path:
+                    continue
+                vc = free_vc_any_class(ctx, ch)
+                if vc is not None:
+                    return Decision(
+                        action=Action.RESERVE,
+                        vc=vc,
+                        port=(dim, direction),
+                        is_misroute=True,
+                    )
+
+        # Nothing searchable here: retreat (releasing the channel) or,
+        # at the source, retry the whole search after a backoff.
+        if j > 0:
+            return Decision(action=Action.BACKTRACK)
+
+        if message.retries < self.max_retries:
+            message.retries += 1
+            message.retry_wait = ctx.cycle + self.retry_backoff
+            message.tried[0].clear()
+            return WAIT
+        return Decision(
+            action=Action.ABORT,
+            reason="MB-m search exhausted after retries",
+        )

@@ -1,0 +1,106 @@
+"""Selection-function helpers shared by DP, MB-m, and Two-Phase routing.
+
+The paper separates the *routing function* (the set of candidate output
+virtual channels) from the *selection function* (the priority scheme
+that picks one).  These helpers enumerate candidate ports under the
+safety / profitability / class constraints each protocol needs; the
+protocols then apply their priority ordering.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.network.channel import VirtualChannel
+from repro.routing.base import RoutingContext
+
+
+def adaptive_candidate(
+    ctx: RoutingContext,
+    node: int,
+    dst: int,
+    require_safe: Optional[bool],
+) -> Optional[Tuple[int, int, VirtualChannel]]:
+    """First profitable port with a free adaptive VC.
+
+    ``require_safe`` filters on the unsafe-channel designation:
+    ``True`` admits only safe channels, ``False`` only unsafe ones,
+    ``None`` ignores the designation (the fault-free DP baseline has no
+    unsafe store).  Faulty channels are never candidates.
+    """
+    topo = ctx.topology
+    faults = ctx.faults
+    for dim, direction in topo.profitable_ports(node, dst):
+        ch = topo.channel_id(node, dim, direction)
+        if faults.channel_faulty[ch]:
+            continue
+        if require_safe is True and faults.channel_unsafe[ch]:
+            continue
+        if require_safe is False and not faults.channel_unsafe[ch]:
+            continue
+        vc = ctx.channels.free_adaptive(ch)
+        if vc is not None:
+            return (dim, direction, vc)
+    return None
+
+
+def free_vc_any_class(
+    ctx: RoutingContext, channel_id: int
+) -> Optional[VirtualChannel]:
+    """First free VC of any class on a channel (MB-m's undivided pool).
+
+    PCS-based protocols owe their deadlock freedom to backtracking, not
+    to a channel-class partition, so MB-m draws from every virtual
+    channel of a physical channel.
+    """
+    for vc in ctx.channels.vcs(channel_id):
+        if vc.is_free:
+            return vc
+    return None
+
+
+def port_usable(ctx: RoutingContext, node: int, dim: int,
+                direction: int) -> bool:
+    """Whether the port's channel is healthy (ignores reservations)."""
+    ch = ctx.topology.channel_id(node, dim, direction)
+    return not ctx.faults.channel_faulty[ch]
+
+
+def misroute_ports(
+    ctx: RoutingContext,
+    node: int,
+    dst: int,
+    arrival: Optional[Tuple[int, int]],
+    allow_u_turn: bool,
+) -> List[Tuple[int, int]]:
+    """Healthy unprofitable ports, in the Theorem 2 preference order.
+
+    Premise (iii) of Theorem 2: when misrouting, prefer an output
+    channel in the *same dimension* as the input channel.  The reverse
+    of the arrival port (a U-turn) is appended last and only when
+    ``allow_u_turn`` — the aggressive TP variant turns around inside an
+    alley instead of backtracking.
+    """
+    topo = ctx.topology
+    reverse = None
+    if arrival is not None:
+        reverse = (arrival[0], -arrival[1])
+    same_dim: List[Tuple[int, int]] = []
+    other: List[Tuple[int, int]] = []
+    for dim, direction in topo.ports(node):
+        if topo.is_profitable(node, dst, dim, direction):
+            continue
+        if (dim, direction) == reverse:
+            continue
+        if not port_usable(ctx, node, dim, direction):
+            continue
+        if arrival is not None and dim == arrival[0]:
+            same_dim.append((dim, direction))
+        else:
+            other.append((dim, direction))
+    ports = same_dim + other
+    if allow_u_turn and reverse is not None and port_usable(
+        ctx, node, reverse[0], reverse[1]
+    ):
+        ports.append(reverse)
+    return ports

@@ -1,0 +1,37 @@
+"""Flit-level simulation: messages, traffic, statistics, configuration.
+
+The engine and the :class:`~repro.sim.simulator.NetworkSimulator`
+facade are intentionally *not* re-exported here — they depend on the
+routing protocols, which in turn depend on :mod:`repro.sim.message`,
+and re-exporting them from this package ``__init__`` would create an
+import cycle.  Import them from the top-level :mod:`repro` package or
+from their concrete modules.
+"""
+
+from repro.sim.config import FaultConfig, RecoveryConfig, SimulationConfig
+from repro.sim.message import ControlKind, Message, MessageStatus
+from repro.sim.stats import (
+    MessageRecord,
+    ReplicatedResult,
+    RunResult,
+    mean_confidence_interval,
+    repeat_until_confident,
+    summarize,
+)
+from repro.sim.traffic import TrafficGenerator
+
+__all__ = [
+    "ControlKind",
+    "FaultConfig",
+    "Message",
+    "MessageRecord",
+    "MessageStatus",
+    "RecoveryConfig",
+    "ReplicatedResult",
+    "RunResult",
+    "SimulationConfig",
+    "TrafficGenerator",
+    "mean_confidence_interval",
+    "repeat_until_confident",
+    "summarize",
+]

@@ -1,0 +1,136 @@
+"""Simulation configuration (the paper's Section 6.0 parameters).
+
+The defaults mirror the paper's evaluation setup where practical: a
+torus (16-ary 2-cube in the paper), 32-flit messages with a one-flit
+routing header, uniformly distributed destinations, and congestion
+control limiting each injection channel to eight buffered messages.
+The benchmark harness scales the radix and run length down by default
+so the full figure suite regenerates in laptop wall-clock time, and
+restores the paper-scale parameters under ``REPRO_PAPER_SCALE=1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+
+@dataclass
+class FaultConfig:
+    """Static and dynamic fault injection for one run."""
+
+    #: Static node faults placed randomly before the run.
+    static_node_faults: int = 0
+    #: Reject placements that disconnect the healthy network.
+    keep_connected: bool = True
+    #: Dynamic faults injected at random cycles during measurement.
+    dynamic_faults: int = 0
+    #: Dynamic fault kind: "link" (Figure 16's scenario) or "node".
+    dynamic_kind: str = "link"
+    #: Cycle window [start, stop) in which dynamic faults may strike;
+    #: ``None`` stop defaults to the full run length.
+    dynamic_start: int = 0
+    dynamic_stop: Optional[int] = None
+
+
+@dataclass
+class RecoveryConfig:
+    """Distributed recovery and reliable-delivery options (Section 2.4)."""
+
+    #: Hold every path until the tail reaches the destination, then tear
+    #: it down with a destination-to-source tail acknowledgment
+    #: ("with TAck" in Figure 17).
+    tail_ack: bool = False
+    #: Retransmit messages interrupted by dynamic faults (only
+    #: meaningful with ``tail_ack``, which keeps the source copy).
+    retransmit: bool = False
+    #: Maximum retransmissions per original message.
+    max_retransmits: int = 2
+    #: Source-level retries after a failed path construction (the
+    #: "re-try from the source" of Section 4.0).
+    max_source_retries: int = 2
+
+
+@dataclass
+class SimulationConfig:
+    """Everything needed to build and run one simulation."""
+
+    # Topology (paper: 16-ary 2-cube).
+    k: int = 8
+    n: int = 2
+
+    # Router resources.
+    num_adaptive_vcs: int = 1
+    buffer_depth: int = 2
+    #: Implement positive/negative acknowledgment flits as dedicated
+    #: control signals on the physical channel instead of multiplexed
+    #: control-channel flits (the paper's Section 7.0 future-work
+    #: proposal: "adding a few control signals to the physical channel,
+    #: modifying the physical flow control accordingly (the logical
+    #: behavior remains unchanged)").  Acknowledgments then stop
+    #: competing with headers and data for link bandwidth.
+    hardware_acks: bool = False
+
+    # Workload (paper: 32-flit messages, 1-flit header, uniform).
+    message_length: int = 32
+    traffic: str = "uniform"
+    #: Offered load in data flits per node per cycle.
+    offered_load: float = 0.1
+    injection_queue_limit: int = 8
+
+    # Protocol selection: "dp", "mb", "tp", or "det" (the validation
+    # dimension-order protocol), with constructor kwargs.
+    protocol: str = "tp"
+    protocol_params: Dict[str, Any] = field(default_factory=dict)
+
+    # Run control.
+    warmup_cycles: int = 1000
+    measure_cycles: int = 4000
+    #: After measurement, keep cycling (no new traffic) until in-flight
+    #: messages finish, up to this many extra cycles.
+    drain_cycles: int = 4000
+    seed: int = 1
+
+    # Safety valves.
+    #: A header that exceeds ``hop_cap_base + hop_cap_factor * distance``
+    #: hops is declared livelocked and aborted to recovery.
+    hop_cap_base: int = 64
+    hop_cap_factor: int = 8
+    #: Cycles without any network activity before declaring deadlock.
+    watchdog_cycles: int = 2000
+    #: A header blocked (WAIT) this many consecutive cycles is handed
+    #: to the recovery mechanism (path torn down, retried from the
+    #: source) — the paper's escape hatch for blocked/deadlocked
+    #: configurations.  Far above any legitimate congestion wait.
+    max_header_wait: int = 1200
+
+    faults: FaultConfig = field(default_factory=FaultConfig)
+    recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
+
+    def __post_init__(self) -> None:
+        if self.message_length < 1:
+            raise ValueError("message_length must be >= 1")
+        if not 0.0 <= self.offered_load <= 1.0:
+            raise ValueError("offered_load must be in [0, 1] flits/node/cycle")
+        if self.injection_queue_limit < 1:
+            raise ValueError("injection_queue_limit must be >= 1")
+        if self.buffer_depth < 1:
+            raise ValueError("buffer_depth must be >= 1")
+
+    @property
+    def total_cycles(self) -> int:
+        return self.warmup_cycles + self.measure_cycles
+
+    def with_(self, **overrides) -> "SimulationConfig":
+        """A copy with the given fields replaced (sweep helper)."""
+        return replace(self, **overrides)
+
+
+def paper_scale(config: SimulationConfig) -> SimulationConfig:
+    """Rescale a config to the paper's full 16-ary 2-cube setup."""
+    return config.with_(
+        k=16,
+        warmup_cycles=2000,
+        measure_cycles=10_000,
+        drain_cycles=10_000,
+    )

@@ -1,0 +1,1129 @@
+"""Flit-level, time-stepped network simulation engine (Section 6.0).
+
+Every cycle advances the network through five phases:
+
+1. **Dynamic faults** — fault events scheduled for this cycle are
+   applied; messages whose reserved path crosses a newly failed channel
+   are interrupted and torn down with kill flits (Section 2.4/Fig 16).
+2. **Routing decisions** — each pending routing header is presented to
+   its protocol (DP / MB-m / TP / dimension-order); reservations,
+   backtracks, waits, and aborts are executed.
+3. **Control transfers** — each physical channel forwards at most one
+   control flit from its multiplexed control queue (headers in
+   decoupled mode, acknowledgments, path/resume tokens, kills, tail
+   acks).  A channel that carried a control flit cannot also carry a
+   data flit this cycle: control and data share the physical bandwidth
+   flit-by-flit (Figure 2b), which is the "slightly reduced bandwidth"
+   the paper attributes to the control channel.
+4. **Data movement** — per physical channel, one data flit moves from
+   its upstream buffer to the downstream buffer, chosen demand-driven
+   round-robin among the resident virtual channels; the first data flit
+   additionally passes the scouting gate (CMU counter >= programmed K,
+   Figure 11) and detour holds.  Ejection (one flit per node per
+   cycle over the PE link) and injection share this phase.
+5. **Traffic** — Bernoulli message generation with the 8-message
+   injection-buffer congestion control, plus launch of queued headers.
+
+Timing convention: a flit or token that arrives at a router at the end
+of cycle *t* may move again during cycle *t+1*; a routing decision and
+the resulting hop happen in the same cycle.  Under this convention an
+idle-network message reproduces the Section 2.2 latency formulas
+exactly (validated by the integration tests).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from collections import deque
+
+from repro.core import detour as detour_rules
+from repro.core.flow_control import K_INFINITE, FlowControlKind
+from repro.faults.injection import DynamicFaultSchedule
+from repro.faults.model import FaultState
+from repro.network.channel import ChannelBank
+from repro.network.link import ControlQueue, RoundRobinArbiter
+from repro.network.topology import KAryNCube
+from repro.routing.base import Action, RoutingContext
+from repro.sim.config import SimulationConfig
+from repro.sim.message import (
+    ControlFlit,
+    ControlKind,
+    HeaderPhase,
+    Message,
+    MessageStatus,
+    TPMode,
+)
+from repro.sim.stats import MessageRecord
+from repro.sim.traffic import TrafficGenerator
+
+
+class DeadlockError(RuntimeError):
+    """Raised when the network makes no progress for the watchdog window."""
+
+
+class Engine:
+    """One simulation instance: network state plus the cycle loop."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        protocol,
+        topology: Optional[KAryNCube] = None,
+        fault_state: Optional[FaultState] = None,
+        traffic: Optional[TrafficGenerator] = None,
+        rng: Optional[random.Random] = None,
+        dynamic_schedule: Optional[DynamicFaultSchedule] = None,
+    ):
+        self.config = config
+        self.protocol = protocol
+        self.rng = rng if rng is not None else random.Random(config.seed)
+        self.topology = topology if topology is not None else KAryNCube(
+            config.k, config.n
+        )
+        self.faults = fault_state if fault_state is not None else FaultState(
+            self.topology
+        )
+        self.channels = ChannelBank(
+            self.topology.num_channels, config.num_adaptive_vcs
+        )
+        self.traffic = traffic if traffic is not None else TrafficGenerator(
+            config.traffic, self.topology, self.rng
+        )
+        self.dynamic_schedule = dynamic_schedule
+
+        num_ch = self.topology.num_channels
+        self.control_out: List[ControlQueue] = [
+            ControlQueue() for _ in range(num_ch)
+        ]
+        self._active_ctrl: Set[int] = set()
+        #: Dedicated acknowledgment wires (Section 7.0 future work):
+        #: only used when ``config.hardware_acks`` — one ack per channel
+        #: per cycle, not competing with the flit slot.
+        self.ack_out: List[ControlQueue] = [
+            ControlQueue() for _ in range(num_ch)
+        ]
+        self._active_ack: Set[int] = set()
+        self._arbiters = [
+            RoundRobinArbiter(self.channels.vcs_per_channel)
+            for _ in range(num_ch)
+        ]
+
+        self.cycle = 0
+        self.ctx = RoutingContext(self.topology, self.faults, self.channels, 0)
+
+        self.messages: Dict[int, Message] = {}
+        self.active: Dict[int, Message] = {}
+        self.pending: Dict[int, Message] = {}
+        self.queues: List[Deque[Message]] = [
+            deque() for _ in range(self.topology.num_nodes)
+        ]
+        self._next_msg_id = 0
+        #: Per-node id of the message most recently granted ejection
+        #: (round-robin fairness on the PE link).
+        self._eject_last: List[int] = [-1] * self.topology.num_nodes
+
+        # Counters.
+        self.offered_messages = 0
+        self.accepted_messages = 0
+        self.rejected_messages = 0
+        self.delivered_messages = 0
+        self.dropped_messages = 0
+        self.killed_messages = 0
+        self.retransmissions = 0
+        self.source_retries = 0
+        self.killed_flits = 0
+        self.control_flits_sent = 0
+        self.data_flits_moved = 0
+        #: Data flits delivered during the measurement window.
+        self.measured_delivered_flits = 0
+        self.measured_offered_flits = 0
+        self.measured_accepted_flits = 0
+        self.records: List[MessageRecord] = []
+        self.drop_reasons: Dict[str, int] = {}
+
+        self.traffic_enabled = True
+        self._measuring_from = config.warmup_cycles
+        self._measuring_to = config.total_cycles
+        self._progress = False
+        self._idle_streak = 0
+        #: Per-cycle scratch: node -> {msg_id: Message} ready to eject.
+        self._eject_ready: Dict[int, Dict[int, Message]] = {}
+        #: Gate-state updates from control flits arriving this cycle;
+        #: applied after the data phase so that an acknowledgment
+        #: registered at the end of cycle t opens a data gate in cycle
+        #: t+1 (matching the Section 2.2 timing exactly).
+        self._staged_acks: List[Tuple[Message, int, int]] = []
+        self._staged_path: List[Tuple[Message, int, bool]] = []
+
+    def in_measure_window(self) -> bool:
+        return self._measuring_from < self.cycle <= self._measuring_to
+
+    def measure_window_cycles(self) -> int:
+        """Cycles of the measurement window elapsed so far."""
+        return max(
+            0, min(self.cycle, self._measuring_to) - self._measuring_from
+        )
+
+    # ==================================================================
+    # Public API
+    # ==================================================================
+    def run(self, cycles: int) -> None:
+        """Advance the simulation by ``cycles`` cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    def drain(self, max_cycles: int) -> bool:
+        """Stop traffic and run until in-flight messages finish.
+
+        Returns True when the network fully drained within the budget.
+        """
+        self.traffic_enabled = False
+        for _ in range(max_cycles):
+            if not self.active and not any(self.queues):
+                return True
+            self.step()
+        return not self.active and not any(self.queues)
+
+    def step(self) -> None:
+        """Advance one cycle through the five phases."""
+        self.cycle += 1
+        self.ctx.cycle = self.cycle
+        self._progress = False
+
+        self._phase_dynamic_faults()
+        self._phase_routing_decisions()
+        used_by_control = self._phase_control_transfers()
+        self._phase_data_movement(used_by_control)
+        self._apply_staged_gate_updates()
+        self._phase_traffic()
+
+        if self.active and not self._progress:
+            self._idle_streak += 1
+            if self._idle_streak > self.config.watchdog_cycles:
+                raise DeadlockError(
+                    f"no progress for {self._idle_streak} cycles at cycle "
+                    f"{self.cycle}; {len(self.active)} active messages "
+                    f"(e.g. {next(iter(self.active.values()))!r})"
+                )
+        else:
+            self._idle_streak = 0
+
+    def network_drained(self) -> bool:
+        """All messages terminal and every virtual channel free."""
+        return not self.active and self.channels.all_free()
+
+    def inject(self, src: int, dst: int,
+               length: Optional[int] = None) -> Message:
+        """Create and immediately launch one message (tests/examples).
+
+        Equivalent to the message having been generated by the traffic
+        phase of the current cycle: its header makes its first routing
+        decision next cycle.
+        """
+        if src == dst:
+            raise ValueError("source and destination must differ")
+        msg = self._new_message(src, dst, self.cycle, length=length)
+        self.queues[src].append(msg)
+        if self.queues[src][0] is msg:
+            msg.status = MessageStatus.ACTIVE
+            msg.header_phase = HeaderPhase.PENDING
+            self.active[msg.msg_id] = msg
+            self.pending[msg.msg_id] = msg
+        return msg
+
+    # ==================================================================
+    # Phase 1: dynamic faults
+    # ==================================================================
+    def _phase_dynamic_faults(self) -> None:
+        if self.dynamic_schedule is None:
+            return
+        for event in self.dynamic_schedule.due(self.cycle):
+            event.apply(self.faults)
+            self._progress = True
+            for ch in self.faults.last_failed_channels:
+                # Interrupt circuits crossing the failed channel.
+                for vc in self.channels.vcs(ch):
+                    if vc.owner is None:
+                        continue
+                    msg = self.messages.get(vc.owner)
+                    if msg is None:
+                        vc.release()
+                        continue
+                    idx = self._path_index_of(msg, vc)
+                    if idx is None:
+                        continue
+                    self._interrupt(msg, idx)
+                # Control flits stranded on the failed channel.
+                for token in self.control_out[ch].drain():
+                    self._handle_stranded_token(token)
+                self._active_ctrl.discard(ch)
+                self.ack_out[ch].drain()  # hardware acks vanish
+                self._active_ack.discard(ch)
+            # Refresh healthy-node set for traffic and drop queued
+            # messages at failed sources.
+            healthy = [
+                node
+                for node in range(self.topology.num_nodes)
+                if node not in self.faults.faulty_nodes
+            ]
+            self.traffic.set_healthy_nodes(healthy)
+            for node in self.faults.faulty_nodes:
+                while self.queues[node]:
+                    msg = self.queues[node].popleft()
+                    if msg.status is MessageStatus.QUEUED:
+                        msg.status = MessageStatus.KILLED
+                        self._finalize(msg, count_killed=True)
+                    elif not msg.is_terminal() and not msg.teardown:
+                        # Active message from a now-dead source: its
+                        # channels are already faulty; interrupt handled
+                        # via the channel loop above.
+                        pass
+
+    def _path_index_of(self, msg: Message,
+                       vc) -> Optional[int]:
+        for idx in range(len(msg.path) - 1, -1, -1):
+            if msg.path[idx] is vc and not msg.released[idx]:
+                return idx
+        return None
+
+    def _handle_stranded_token(self, token: ControlFlit) -> None:
+        """A control flit was queued on a channel that just failed."""
+        msg = token.message
+        kind = token.kind
+        if kind in (ControlKind.KILL_UP,):
+            self._finish_kill_up(msg, token.position)
+        elif kind is ControlKind.KILL_DOWN:
+            self._finish_kill_down(msg, token.position)
+        elif kind is ControlKind.TAIL_ACK:
+            self._finish_tail_ack(msg, token.position)
+        elif kind in (ControlKind.HEADER, ControlKind.HEADER_BACK):
+            if not msg.teardown and not msg.is_terminal():
+                # The header was lost with the channel: the last path
+                # link sits on the dead channel; recover the rest.
+                self._release_link(msg, len(msg.path) - 1)
+                if kind is ControlKind.HEADER_BACK:
+                    # It was retreating over the now-dead link; the link
+                    # below survives.
+                    self._teardown(msg, "fault", msg.header_router - 1)
+                else:
+                    self._teardown(msg, "fault", msg.header_router)
+        # ACK_POS / ACK_NEG / PATH_ACK / RESUME simply vanish; the
+        # message either gets torn down by the channel-owner scan or
+        # recovers via its remaining tokens.
+
+    # ==================================================================
+    # Phase 2: routing decisions
+    # ==================================================================
+    def _phase_routing_decisions(self) -> None:
+        if not self.pending:
+            return
+        cfg = self.config
+        for msg in list(self.pending.values()):
+            if msg.teardown or msg.is_terminal():
+                self.pending.pop(msg.msg_id, None)
+                continue
+            if msg.header_phase is not HeaderPhase.PENDING:
+                self.pending.pop(msg.msg_id, None)
+                continue
+            # Livelock valve: abort headers that wander too long.
+            hop_cap = cfg.hop_cap_base + cfg.hop_cap_factor * (
+                self.topology.distance(msg.src, msg.dst)
+            )
+            if msg.hops_taken > hop_cap:
+                self._abort(msg, "livelock hop cap exceeded")
+                continue
+            decision = self.protocol.decide(self.ctx, msg)
+            if decision.action is Action.WAIT:
+                msg.wait_cycles += 1
+                msg.consecutive_waits += 1
+                if msg.consecutive_waits > cfg.max_header_wait:
+                    # The paper's last-resort escape: a header that can
+                    # no longer make progress is recovered — the path
+                    # is torn down and the message retried from the
+                    # source (Section 4.0).
+                    self._abort(msg, "header blocked past wait limit")
+                continue
+            msg.consecutive_waits = 0
+            if decision.action is Action.RESERVE:
+                self._execute_reserve(msg, decision)
+            elif decision.action is Action.BACKTRACK:
+                self._execute_backtrack(msg)
+            elif decision.action is Action.ABORT:
+                self._abort(msg, decision.reason)
+
+    def _execute_reserve(self, msg: Message, decision) -> None:
+        vc = decision.vc
+        dim, direction = decision.port
+        vc.reserve(msg.msg_id)
+        vc.grants += 0  # grants counted on data transfer
+        k = decision.k
+        if self.protocol.flow_control.kind is FlowControlKind.PCS:
+            k = K_INFINITE
+        next_node = self.topology.channel(vc.channel_id).dst
+        msg.extend_path(
+            vc, next_node, k, decision.hold, dim, direction,
+            is_misroute=decision.is_misroute,
+        )
+        if k > 0 or decision.hold:
+            msg.needs_path_ack = True
+        # Misroute / detour accounting happens at reservation time.
+        if msg.tp_mode is TPMode.DETOUR:
+            detour_rules.record_forward_hop(
+                msg, dim, direction, decision.is_misroute
+            )
+        elif decision.is_misroute:
+            msg.header.misroutes += 1
+            msg.misroute_total += 1
+        msg.header.apply_hop(dim, direction, self.topology.k)
+        msg.hops_taken += 1
+        self._progress = True
+        if self.protocol.inline_header:
+            # The header is the message's first flit; it advances
+            # through the data phase.  Nothing more to do until it
+            # arrives at the next router.
+            self.pending.pop(msg.msg_id, None)
+        else:
+            msg.header_phase = HeaderPhase.IN_FLIGHT
+            self.pending.pop(msg.msg_id, None)
+            self._push_control(
+                ControlFlit(
+                    ControlKind.HEADER, msg, msg.header_router + 1, self.cycle
+                ),
+                vc.channel_id,
+            )
+
+    def _execute_backtrack(self, msg: Message) -> None:
+        j = msg.header_router
+        assert j > 0, "cannot backtrack from the source"
+        assert not self.protocol.inline_header, (
+            "in-band headers cannot backtrack"
+        )
+        msg.header.backtrack = True
+        msg.header_phase = HeaderPhase.IN_FLIGHT
+        msg.backtrack_count += 1
+        # Lock the data gate of the link being released so the first
+        # data flit cannot race onto it while the backtracking header
+        # crosses the complementary channel.  A plain `held` mark is
+        # not enough: an in-flight resume/path acknowledgment would
+        # clear it.
+        msg.backtrack_lock = j - 1
+        self.pending.pop(msg.msg_id, None)
+        self._progress = True
+        reverse_ch = self.topology.reverse_channel_id(
+            msg.path[j - 1].channel_id
+        )
+        self._push_control(
+            ControlFlit(ControlKind.HEADER_BACK, msg, j - 1, self.cycle),
+            reverse_ch,
+        )
+
+    # ==================================================================
+    # Phase 3: control transfers
+    # ==================================================================
+    def _phase_control_transfers(self) -> Set[int]:
+        used: Set[int] = set()
+        # Dedicated ack wires first: they never consume the flit slot.
+        if self._active_ack:
+            for ch in sorted(self._active_ack):
+                q = self.ack_out[ch]
+                head = q.peek()
+                if head is None:
+                    self._active_ack.discard(ch)
+                    continue
+                if head.ready_cycle > self.cycle:
+                    continue
+                token = q.pop()
+                if not q:
+                    self._active_ack.discard(ch)
+                self.control_flits_sent += 1
+                self._progress = True
+                self._deliver(token)
+        if not self._active_ctrl:
+            return used
+        for ch in sorted(self._active_ctrl):
+            q = self.control_out[ch]
+            head = q.peek()
+            if head is None:
+                self._active_ctrl.discard(ch)
+                continue
+            if head.ready_cycle > self.cycle:
+                continue
+            token = q.pop()
+            if not q:
+                self._active_ctrl.discard(ch)
+            used.add(ch)
+            self.control_flits_sent += 1
+            self._progress = True
+            self._deliver(token)
+        return used
+
+    def _push_control(self, token: ControlFlit, channel_id: int) -> None:
+        """Queue a control flit for one hop over ``channel_id``.
+
+        A continuation pushed onto a channel that has meanwhile failed
+        cannot physically travel; kill and tail-ack effects are applied
+        instantly (an idealization of the paper's reliance on recovery
+        as a last resort), other tokens are lost with the channel.
+        """
+        if self.faults.channel_faulty[channel_id]:
+            self._handle_stranded_token(token)
+            return
+        if self.config.hardware_acks and token.kind in (
+            ControlKind.ACK_POS, ControlKind.ACK_NEG
+        ):
+            self.ack_out[channel_id].push(token)
+            self._active_ack.add(channel_id)
+            return
+        self.control_out[channel_id].push(token)
+        self._active_ctrl.add(channel_id)
+
+    def _deliver(self, token: ControlFlit) -> None:
+        kind = token.kind
+        msg = token.message
+        p = token.position
+        if kind is ControlKind.HEADER:
+            self._arrive_header(msg, p)
+        elif kind is ControlKind.HEADER_BACK:
+            self._arrive_header_back(msg, p)
+        elif kind is ControlKind.ACK_POS:
+            self._arrive_ack(msg, p, +1)
+        elif kind is ControlKind.ACK_NEG:
+            self._arrive_ack(msg, p, -1)
+        elif kind is ControlKind.PATH_ACK:
+            self._arrive_path_ack(msg, p, establish=True)
+        elif kind is ControlKind.RESUME:
+            self._arrive_path_ack(msg, p, establish=False)
+        elif kind is ControlKind.KILL_UP:
+            nxt = self._arrive_kill_up(msg, p)
+            if nxt is not None:
+                self._push_control(
+                    ControlFlit(ControlKind.KILL_UP, msg, nxt, self.cycle + 1),
+                    self.topology.reverse_channel_id(
+                        msg.path[nxt].channel_id
+                    ),
+                )
+        elif kind is ControlKind.KILL_DOWN:
+            nxt = self._arrive_kill_down(msg, p)
+            if nxt is not None:
+                self._push_control(
+                    ControlFlit(
+                        ControlKind.KILL_DOWN, msg, nxt, self.cycle + 1
+                    ),
+                    msg.path[nxt - 1].channel_id,
+                )
+        elif kind is ControlKind.TAIL_ACK:
+            nxt = self._arrive_tail_ack(msg, p)
+            if nxt is not None:
+                self._push_control(
+                    ControlFlit(
+                        ControlKind.TAIL_ACK, msg, nxt, self.cycle + 1
+                    ),
+                    self.topology.reverse_channel_id(
+                        msg.path[nxt].channel_id
+                    ),
+                )
+        else:  # pragma: no cover - exhaustive dispatch
+            raise AssertionError(f"unknown control kind {kind}")
+
+    # ---------------- header arrivals ---------------------------------
+    def _arrive_header(self, msg: Message, p: int) -> None:
+        if msg.teardown or msg.is_terminal():
+            return
+        msg.header_router = p
+        msg.header_phase = HeaderPhase.PENDING
+        self.protocol.on_arrival(self.ctx, msg)
+        node = msg.path_nodes[p]
+        # Positive acknowledgment: SR mode, not constructing a detour.
+        # At the destination the path acknowledgment subsumes it.
+        fc = self.protocol.flow_control
+        if (
+            fc.kind is FlowControlKind.SCOUTING
+            and not msg.header.detour
+            and fc.k_for(msg.header.sr) > 0
+            and p >= 1
+            and node != msg.dst
+        ):
+            self._push_control(
+                ControlFlit(ControlKind.ACK_POS, msg, p - 1, self.cycle + 1),
+                self.topology.reverse_channel_id(msg.path[p - 1].channel_id),
+            )
+        if node == msg.dst:
+            self._header_reached_destination(msg)
+            return
+        if msg.tp_mode is TPMode.DETOUR and detour_rules.detour_complete(
+            msg, at_destination=False
+        ):
+            detour_rules.complete_detour(msg)
+            if p >= 1:
+                self._push_control(
+                    ControlFlit(
+                        ControlKind.RESUME, msg, p - 1, self.cycle + 1
+                    ),
+                    self.topology.reverse_channel_id(
+                        msg.path[p - 1].channel_id
+                    ),
+                )
+        self.pending[msg.msg_id] = msg
+
+    def _header_reached_destination(self, msg: Message) -> None:
+        if msg.tp_mode is TPMode.DETOUR:
+            detour_rules.complete_detour(msg)
+        msg.header_phase = HeaderPhase.DELIVERED
+        if msg.needs_path_ack and msg.path:
+            self._push_control(
+                ControlFlit(
+                    ControlKind.PATH_ACK, msg, len(msg.path) - 1,
+                    self.cycle + 1,
+                ),
+                self.topology.reverse_channel_id(msg.path[-1].channel_id),
+            )
+
+    def _arrive_header_back(self, msg: Message, p: int) -> None:
+        if msg.teardown or msg.is_terminal():
+            return
+        msg.backtrack_lock = -1
+        popped_vc = msg.path[-1]
+        dim, direction = msg.arrival_dims[-1]
+        was_misroute = msg.link_misroute[-1]
+        if not msg.released[-1] and popped_vc.owner == msg.msg_id:
+            popped_vc.release()
+        msg.released[-1] = True
+        msg.pop_path()
+        msg.tried[p].add(popped_vc.channel_id)
+        if msg.tp_mode is TPMode.DETOUR:
+            detour_rules.record_backtrack(msg, dim, direction, was_misroute)
+        elif was_misroute:
+            msg.header.misroutes = max(0, msg.header.misroutes - 1)
+        msg.header.apply_hop(dim, -direction, self.topology.k)
+        msg.header.backtrack = False
+        msg.header_router = p
+        msg.header_phase = HeaderPhase.PENDING
+        msg.hops_taken += 1
+        # Negative acknowledgment decrements the upstream counters.
+        fc = self.protocol.flow_control
+        if (
+            fc.kind is FlowControlKind.SCOUTING
+            and not msg.header.detour
+            and fc.k_for(msg.header.sr) > 0
+            and p >= 1
+        ):
+            self._push_control(
+                ControlFlit(ControlKind.ACK_NEG, msg, p - 1, self.cycle + 1),
+                self.topology.reverse_channel_id(msg.path[p - 1].channel_id),
+            )
+        self.pending[msg.msg_id] = msg
+
+    # ---------------- acknowledgment arrivals --------------------------
+    def _arrive_ack(self, msg: Message, p: int, delta: int) -> None:
+        if msg.teardown or msg.is_terminal():
+            return
+        if p >= len(msg.acks_at):
+            return  # path shrank past this position (backtracking race)
+        self._staged_acks.append((msg, p, delta))
+        if p > 0 and p > msg.head_router:
+            kind = ControlKind.ACK_POS if delta > 0 else ControlKind.ACK_NEG
+            self._push_control(
+                ControlFlit(kind, msg, p - 1, self.cycle + 1),
+                self.topology.reverse_channel_id(msg.path[p - 1].channel_id),
+            )
+        # Otherwise: not propagated beyond the first data flit.
+
+    def _arrive_path_ack(self, msg: Message, p: int, establish: bool) -> None:
+        if msg.teardown or msg.is_terminal():
+            return
+        if establish and p < len(msg.acks_at):
+            # The path acknowledgment is the destination's positive
+            # acknowledgment: it increments the scouting counters it
+            # passes (the per-hop ack is suppressed at the destination).
+            self._staged_acks.append((msg, p, +1))
+        if p > 0 and p > msg.head_router:
+            self._staged_path.append((msg, p, False))
+            kind = ControlKind.PATH_ACK if establish else ControlKind.RESUME
+            self._push_control(
+                ControlFlit(kind, msg, p - 1, self.cycle + 1),
+                self.topology.reverse_channel_id(msg.path[p - 1].channel_id),
+            )
+            return
+        self._staged_path.append((msg, p, establish))
+
+    def _apply_staged_gate_updates(self) -> None:
+        """Commit this cycle's acknowledgment effects (end-of-cycle)."""
+        if self._staged_acks:
+            for msg, p, delta in self._staged_acks:
+                if p < len(msg.acks_at):
+                    msg.acks_at[p] += delta
+            self._staged_acks.clear()
+        if self._staged_path:
+            for msg, p, establish in self._staged_path:
+                if p < len(msg.held):
+                    msg.held[p] = False
+                if establish:
+                    msg.path_established = True
+            self._staged_path.clear()
+
+    # ---------------- teardown token arrivals --------------------------
+    def _arrive_kill_up(self, msg: Message, p: int) -> Optional[int]:
+        """Process a kill arriving at router ``p``; return next position."""
+        self._release_link(msg, p)
+        if p > 0:
+            self._kill_buffer(msg, p - 1)
+            return p - 1
+        self._kill_reached_source(msg)
+        return None
+
+    def _finish_kill_up(self, msg: Message, p: int) -> None:
+        nxt: Optional[int] = p
+        while nxt is not None:
+            nxt = self._arrive_kill_up(msg, nxt)
+
+    def _arrive_kill_down(self, msg: Message, p: int) -> Optional[int]:
+        self._release_link(msg, p - 1)
+        self._kill_buffer(msg, p - 1)
+        if p < len(msg.path):
+            return p + 1
+        return None
+
+    def _finish_kill_down(self, msg: Message, p: int) -> None:
+        nxt: Optional[int] = p
+        while nxt is not None:
+            nxt = self._arrive_kill_down(msg, nxt)
+
+    def _arrive_tail_ack(self, msg: Message, p: int) -> Optional[int]:
+        self._release_link(msg, p)
+        if p > 0:
+            return p - 1
+        msg.tail_acked = True
+        if msg.status is MessageStatus.ACTIVE and (
+            msg.delivered_cycle is not None
+        ):
+            msg.status = MessageStatus.DELIVERED
+            self._finalize(msg, count_delivered=True)
+        return None
+
+    def _finish_tail_ack(self, msg: Message, p: int) -> None:
+        nxt: Optional[int] = p
+        while nxt is not None:
+            nxt = self._arrive_tail_ack(msg, nxt)
+
+    def _release_link(self, msg: Message, idx: int) -> None:
+        if idx < 0 or idx >= len(msg.path) or msg.released[idx]:
+            return
+        vc = msg.path[idx]
+        if vc.owner == msg.msg_id:
+            vc.release()
+        msg.released[idx] = True
+
+    def _kill_buffer(self, msg: Message, idx: int) -> None:
+        if 0 <= idx < len(msg.buffered) and msg.buffered[idx]:
+            lost = msg.buffered[idx]
+            msg.buffered[idx] = 0
+            msg.killed_flits += lost
+            self.killed_flits += lost
+
+    # ==================================================================
+    # Teardown / recovery (Section 2.4)
+    # ==================================================================
+    def _interrupt(self, msg: Message, fail_idx: int) -> None:
+        """A dynamic fault severed ``msg``'s path at link ``fail_idx``."""
+        if msg.teardown or msg.is_terminal():
+            return
+        msg.teardown = True
+        msg.teardown_reason = "fault"
+        msg.header_phase = HeaderPhase.GONE
+        self.pending.pop(msg.msg_id, None)
+        self._release_link(msg, fail_idx)
+        # Upstream side: kill flits follow the circuit back to the source.
+        if fail_idx == 0:
+            self._kill_reached_source(msg)
+        else:
+            self._kill_buffer(msg, fail_idx - 1)
+            self._push_control(
+                ControlFlit(
+                    ControlKind.KILL_UP, msg, fail_idx - 1, self.cycle + 1
+                ),
+                self.topology.reverse_channel_id(
+                    msg.path[fail_idx - 1].channel_id
+                ),
+            )
+        # Downstream side: toward the destination / header end.
+        self._kill_buffer(msg, fail_idx)
+        if fail_idx + 1 < len(msg.path):
+            self._push_control(
+                ControlFlit(
+                    ControlKind.KILL_DOWN, msg, fail_idx + 2, self.cycle + 1
+                ),
+                msg.path[fail_idx + 1].channel_id,
+            )
+
+    def _abort(self, msg: Message, reason: str) -> None:
+        """Routing gave up: recover resources, then retry or drop."""
+        self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
+        self._teardown(msg, "abort", msg.header_router)
+
+    def _teardown(self, msg: Message, reason: str, from_router: int) -> None:
+        if msg.teardown or msg.is_terminal():
+            return
+        msg.teardown = True
+        msg.teardown_reason = reason
+        msg.header_phase = HeaderPhase.GONE
+        self.pending.pop(msg.msg_id, None)
+        self._progress = True
+        if from_router == 0 or not msg.path:
+            self._kill_reached_source(msg)
+            return
+        self._kill_buffer(msg, from_router - 1)
+        self._push_control(
+            ControlFlit(
+                ControlKind.KILL_UP, msg, from_router - 1, self.cycle + 1
+            ),
+            self.topology.reverse_channel_id(
+                msg.path[from_router - 1].channel_id
+            ),
+        )
+
+    def _kill_reached_source(self, msg: Message) -> None:
+        """The teardown reached the source: retransmit, retry, or drop."""
+        self._release_link(msg, 0)
+        if msg.is_terminal():
+            return
+        rec = self.config.recovery
+        src_alive = not self.faults.is_node_faulty(msg.src)
+        dst_alive = not self.faults.is_node_faulty(msg.dst)
+        retryable = src_alive and dst_alive
+        if msg.teardown_reason == "fault":
+            if (
+                rec.retransmit
+                and retryable
+                and msg.retransmits < rec.max_retransmits
+            ):
+                self._requeue_clone(msg)
+                self.retransmissions += 1
+                msg.status = MessageStatus.KILLED
+                self._finalize(msg, superseded=True)
+                return
+            if (
+                msg.injected_flits == 0
+                and retryable
+                and msg.retransmits < rec.max_source_retries
+            ):
+                # No data had been committed (PCS-style setup): the
+                # source simply retries the path construction.
+                self._requeue_clone(msg)
+                self.source_retries += 1
+                msg.status = MessageStatus.KILLED
+                self._finalize(msg, superseded=True)
+                return
+            msg.status = MessageStatus.KILLED
+            self._finalize(msg, count_killed=True)
+            return
+        # Aborted path construction: retry from the source a bounded
+        # number of times (Section 4.0's higher-level retry).
+        if retryable and msg.retransmits < rec.max_source_retries:
+            self._requeue_clone(msg)
+            self.source_retries += 1
+            msg.status = MessageStatus.DROPPED
+            self._finalize(msg, superseded=True)
+            return
+        msg.status = MessageStatus.DROPPED
+        msg.drop_reason = msg.drop_reason or "undeliverable"
+        self._finalize(msg, count_dropped=True)
+
+    def _requeue_clone(self, original: Message) -> None:
+        """Re-inject a fresh copy of an interrupted/aborted message."""
+        clone = self._new_message(
+            original.src, original.dst, created_cycle=original.created_cycle
+        )
+        clone.original_id = original.original_id
+        clone.retransmits = original.retransmits + 1
+        q = self.queues[original.src]
+        if q and q[0] is original:
+            q[0] = clone
+        else:
+            q.appendleft(clone)
+
+    # ==================================================================
+    # Phase 4: data movement
+    # ==================================================================
+    def _phase_data_movement(self, used_by_control: Set[int]) -> None:
+        depth = self.config.buffer_depth
+        candidates: Dict[int, List[Tuple[int, Message, int]]] = {}
+        self._eject_ready = {}
+
+        for msg in self.active.values():
+            if msg.teardown or msg.status is not MessageStatus.ACTIVE:
+                continue
+            path_len = len(msg.path)
+            if path_len == 0:
+                continue
+            head_move = msg.head_link + 1
+            # Ejection candidate: path complete at destination with
+            # flits waiting in the final buffer.
+            if (
+                msg.header_phase is HeaderPhase.DELIVERED
+                and msg.buffered[path_len - 1] > 0
+            ):
+                self._eject_ready.setdefault(msg.dst, {})[msg.msg_id] = msg
+            # Injection candidate (crossing path[0]).
+            if msg.at_source > 0:
+                self._add_candidate(
+                    candidates, msg, 0, head_move, depth, used_by_control
+                )
+            # Buffered flits crossing path[t+1].
+            t = msg.tail_idx
+            head_link = msg.head_link
+            buffered = msg.buffered
+            while t <= head_link:
+                if buffered[t] > 0 and t + 1 < path_len:
+                    self._add_candidate(
+                        candidates, msg, t + 1, head_move, depth,
+                        used_by_control,
+                    )
+                t += 1
+
+        # Grant one data flit per physical channel (round-robin among
+        # resident VCs), skipping channels used by control this cycle.
+        for ch, cands in candidates.items():
+            if len(cands) == 1:
+                vc_idx, msg, p = cands[0]
+            else:
+                winner = self._arbiters[ch].grant_from(
+                    [c[0] for c in cands]
+                )
+                vc_idx, msg, p = next(
+                    c for c in cands if c[0] == winner
+                )
+            self._move_flit(msg, p)
+
+        # Ejection: one flit per node per cycle over the PE link.  A
+        # flit that arrived this cycle may eject this cycle (cut-through
+        # ejection port), which makes idle-network latency match the
+        # Section 2.2 formulas exactly.
+        for node, msgs in self._eject_ready.items():
+            self._eject_one(node, list(msgs.values()))
+
+    def _add_candidate(
+        self,
+        candidates: Dict[int, List[Tuple[int, Message, int]]],
+        msg: Message,
+        p: int,
+        head_move: int,
+        depth: int,
+        used_by_control: Set[int],
+    ) -> None:
+        if msg.buffered[p] >= depth or msg.released[p]:
+            return
+        if p == msg.backtrack_lock:
+            return  # the header is retreating over this link
+        if p == head_move:
+            # First-data-flit gate (Figure 11 DIBU enable).
+            if msg.held[p]:
+                return
+            k_gate = msg.k_at[p - 1] if p > 0 else msg.k_at[0]
+            if k_gate >= K_INFINITE:
+                if not msg.path_established:
+                    return
+            elif msg.acks_at[p] < k_gate and not msg.path_established:
+                # On a path shorter than K the header reaches the
+                # destination before K acks exist; the path
+                # acknowledgment then releases the data (SR degenerates
+                # to PCS, Section 2.2).
+                return
+        vc = msg.path[p]
+        ch = vc.channel_id
+        if ch in used_by_control:
+            return
+        candidates.setdefault(ch, []).append((vc.index, msg, p))
+
+    def _move_flit(self, msg: Message, p: int) -> None:
+        if p == 0:
+            msg.at_source -= 1
+            if msg.injected_cycle is None:
+                msg.injected_cycle = self.cycle
+        else:
+            msg.buffered[p - 1] -= 1
+        msg.buffered[p] += 1
+        msg.crossed[p] += 1
+        msg.path[p].grants += 1
+        self.data_flits_moved += 1
+        self._progress = True
+        if p == msg.head_link + 1:
+            msg.head_link = p
+            if self.protocol.inline_header:
+                self._inline_header_arrived(msg, p + 1)
+        if (
+            msg.header_phase is HeaderPhase.DELIVERED
+            and p == len(msg.path) - 1
+        ):
+            self._eject_ready.setdefault(msg.dst, {})[msg.msg_id] = msg
+        if msg.at_source == 0:
+            while (
+                msg.tail_idx <= msg.head_link
+                and msg.buffered[msg.tail_idx] == 0
+            ):
+                msg.tail_idx += 1
+        if (
+            msg.crossed[p] == msg.total_flits
+            and not self.config.recovery.tail_ack
+        ):
+            self._release_link(msg, p)
+
+    def _inline_header_arrived(self, msg: Message, router_idx: int) -> None:
+        """In-band header flit reached a new router."""
+        msg.header_router = router_idx
+        node = msg.path_nodes[router_idx]
+        self.protocol.on_arrival(self.ctx, msg)
+        if node == msg.dst:
+            msg.header_phase = HeaderPhase.DELIVERED
+        else:
+            msg.header_phase = HeaderPhase.PENDING
+            self.pending[msg.msg_id] = msg
+
+    def _eject_one(self, node: int, msgs: List[Message]) -> None:
+        """Grant the PE link to one waiting message (round-robin by id)."""
+        last = self._eject_last[node]
+        winner = None
+        for msg in sorted(msgs, key=lambda m: m.msg_id):
+            if msg.msg_id > last:
+                winner = msg
+                break
+        if winner is None:
+            winner = min(msgs, key=lambda m: m.msg_id)
+        self._eject_last[node] = winner.msg_id
+        self._consume_flit(winner)
+
+    def _consume_flit(self, msg: Message) -> None:
+        last = len(msg.path) - 1
+        msg.buffered[last] -= 1
+        msg.ejected += 1
+        self._progress = True
+        # Throughput counts data flits; skip the in-band header flit.
+        is_header_flit = self.protocol.inline_header and msg.ejected == 1
+        if not is_header_flit and self.in_measure_window():
+            self.measured_delivered_flits += 1
+        if msg.at_source == 0:
+            while (
+                msg.tail_idx <= msg.head_link
+                and msg.buffered[msg.tail_idx] == 0
+            ):
+                msg.tail_idx += 1
+        if msg.ejected == msg.total_flits:
+            msg.delivered_cycle = self.cycle
+            if self.config.recovery.tail_ack:
+                # Hold the path; tear it down with the tail ack.
+                self._push_control(
+                    ControlFlit(
+                        ControlKind.TAIL_ACK, msg, len(msg.path) - 1,
+                        self.cycle + 1,
+                    ),
+                    self.topology.reverse_channel_id(
+                        msg.path[-1].channel_id
+                    ),
+                )
+            else:
+                msg.status = MessageStatus.DELIVERED
+                self._finalize(msg, count_delivered=True)
+
+    # ==================================================================
+    # Phase 5: traffic generation and launches
+    # ==================================================================
+    def _phase_traffic(self) -> None:
+        cfg = self.config
+        if self.traffic_enabled and cfg.offered_load > 0:
+            p_msg = cfg.offered_load / cfg.message_length
+            measuring = self.in_measure_window()
+            for node in self.traffic.healthy_nodes:
+                if self.rng.random() >= p_msg:
+                    continue
+                dst = self.traffic.destination(node)
+                if dst is None:
+                    continue
+                self.offered_messages += 1
+                if measuring:
+                    self.measured_offered_flits += cfg.message_length
+                queue = self.queues[node]
+                if len(queue) >= cfg.injection_queue_limit:
+                    self.rejected_messages += 1
+                    continue
+                self.accepted_messages += 1
+                if measuring:
+                    self.measured_accepted_flits += cfg.message_length
+                queue.append(self._new_message(node, dst, self.cycle))
+
+        # Launch / advance injection queues.
+        tail_ack = self.config.recovery.tail_ack
+        for node, queue in enumerate(self.queues):
+            while queue:
+                head = queue[0]
+                if head.is_terminal():
+                    queue.popleft()
+                    continue
+                if head.status is MessageStatus.ACTIVE:
+                    done_injecting = head.at_source == 0
+                    released = head.tail_acked if tail_ack else True
+                    if done_injecting and released and not head.teardown:
+                        queue.popleft()
+                        continue
+                    break
+                # QUEUED head: launch its routing header.
+                head.status = MessageStatus.ACTIVE
+                head.header_phase = HeaderPhase.PENDING
+                self.active[head.msg_id] = head
+                self.pending[head.msg_id] = head
+                self._progress = True
+                break
+
+    def _new_message(self, src: int, dst: int, created_cycle: int,
+                     length: Optional[int] = None) -> Message:
+        msg = Message(
+            msg_id=self._next_msg_id,
+            src=src,
+            dst=dst,
+            length=length if length is not None else self.config.message_length,
+            offsets=self.topology.offsets(src, dst),
+            created_cycle=created_cycle,
+            inline_header=self.protocol.inline_header,
+        )
+        self._next_msg_id += 1
+        self.messages[msg.msg_id] = msg
+        return msg
+
+    # ==================================================================
+    # Finalization / bookkeeping
+    # ==================================================================
+    def _finalize(
+        self,
+        msg: Message,
+        count_delivered: bool = False,
+        count_dropped: bool = False,
+        count_killed: bool = False,
+        superseded: bool = False,
+    ) -> None:
+        if count_delivered:
+            self.delivered_messages += 1
+        if count_dropped:
+            self.dropped_messages += 1
+        if count_killed:
+            self.killed_messages += 1
+        self.active.pop(msg.msg_id, None)
+        self.pending.pop(msg.msg_id, None)
+        self.messages.pop(msg.msg_id, None)
+        self.records.append(
+            MessageRecord(
+                msg_id=msg.msg_id,
+                src=msg.src,
+                dst=msg.dst,
+                status=msg.status.name,
+                created=msg.created_cycle,
+                injected=msg.injected_cycle,
+                delivered=msg.delivered_cycle,
+                distance=self.topology.distance(msg.src, msg.dst),
+                hops=msg.hops_taken,
+                misroutes=msg.misroute_total,
+                backtracks=msg.backtrack_count,
+                detours=msg.detour_count,
+                retransmits=msg.retransmits,
+                superseded=superseded,
+            )
+        )

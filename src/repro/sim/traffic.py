@@ -1,0 +1,96 @@
+"""Workload generation (paper Section 6.0).
+
+The paper evaluates with uniformly distributed message destinations and
+Bernoulli injection; deterministic communication patterns were used to
+validate the simulator.  This module provides both, plus the standard
+torus stress patterns used by the extended benchmarks:
+
+* ``uniform``   — destination uniform over all (healthy) remote nodes;
+* ``nearest``   — one-hop neighbor traffic (deterministic validation);
+* ``transpose`` — coordinate-transpose permutation (n == 2);
+* ``tornado``   — half-ring offset in dimension 0 (adversarial for
+  minimal routing on tori);
+* ``complement``— coordinate-complement permutation.
+
+Generators draw destinations only; injection timing is a Bernoulli
+process handled by the engine (one trial per node per cycle with
+probability ``offered_load / message_length``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from repro.network.topology import KAryNCube
+
+DestinationFn = Callable[[int], Optional[int]]
+
+
+class TrafficGenerator:
+    """Per-source destination selection for a named traffic pattern."""
+
+    PATTERNS = ("uniform", "nearest", "transpose", "tornado", "complement")
+
+    def __init__(self, pattern: str, topology: KAryNCube,
+                 rng: random.Random, healthy_nodes: Optional[List[int]] = None):
+        if pattern not in self.PATTERNS:
+            raise ValueError(
+                f"unknown traffic pattern {pattern!r}; "
+                f"choose from {self.PATTERNS}"
+            )
+        self.pattern = pattern
+        self.topology = topology
+        self.rng = rng
+        self._healthy = (
+            list(healthy_nodes)
+            if healthy_nodes is not None
+            else list(range(topology.num_nodes))
+        )
+        self._healthy_set = set(self._healthy)
+
+    def set_healthy_nodes(self, healthy_nodes: List[int]) -> None:
+        """Restrict sources/destinations after fault placement."""
+        self._healthy = list(healthy_nodes)
+        self._healthy_set = set(self._healthy)
+
+    @property
+    def healthy_nodes(self) -> List[int]:
+        return self._healthy
+
+    # ------------------------------------------------------------------
+    def destination(self, src: int) -> Optional[int]:
+        """Destination for a new message from ``src``.
+
+        Returns ``None`` when the pattern sends this source nowhere
+        (e.g. a permutation partner that has failed) — the engine then
+        skips the injection.
+        """
+        dst = self._raw_destination(src)
+        if dst is None or dst == src or dst not in self._healthy_set:
+            return None
+        return dst
+
+    def _raw_destination(self, src: int) -> Optional[int]:
+        topo = self.topology
+        if self.pattern == "uniform":
+            # Uniform over healthy nodes, excluding the source.
+            if len(self._healthy) < 2:
+                return None
+            while True:
+                dst = self._healthy[self.rng.randrange(len(self._healthy))]
+                if dst != src:
+                    return dst
+        if self.pattern == "nearest":
+            return topo.neighbor(src, 0, +1)
+        if self.pattern == "transpose":
+            coords = topo.coords(src)
+            return topo.node_id(tuple(reversed(coords)))
+        if self.pattern == "tornado":
+            coords = list(topo.coords(src))
+            coords[0] = (coords[0] + (topo.k - 1) // 2) % topo.k
+            return topo.node_id(coords)
+        if self.pattern == "complement":
+            coords = [(topo.k - 1 - c) for c in topo.coords(src)]
+            return topo.node_id(coords)
+        raise AssertionError(f"unhandled pattern {self.pattern}")

@@ -1,0 +1,86 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.faults.model import FaultState
+from repro.network.channel import ChannelBank
+from repro.network.topology import KAryNCube
+from repro.routing.base import RoutingContext
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Engine
+from repro.sim.simulator import make_protocol
+
+
+@pytest.fixture
+def torus4() -> KAryNCube:
+    return KAryNCube(4, 2)
+
+
+@pytest.fixture
+def torus8() -> KAryNCube:
+    return KAryNCube(8, 2)
+
+
+@pytest.fixture
+def torus3d() -> KAryNCube:
+    return KAryNCube(4, 3)
+
+
+def make_context(topology: KAryNCube, num_adaptive: int = 1,
+                 faults: FaultState = None) -> RoutingContext:
+    """A routing context over a fresh channel bank."""
+    if faults is None:
+        faults = FaultState(topology)
+    bank = ChannelBank(topology.num_channels, num_adaptive)
+    return RoutingContext(topology, faults, bank, cycle=1)
+
+
+def build_engine(protocol_name: str, k: int = 8, n: int = 2, seed: int = 1,
+                 faults: FaultState = None, message_length: int = 8,
+                 protocol_params: dict = None,
+                 **config_overrides) -> Engine:
+    """An idle engine (no traffic) for hand-injected messages."""
+    cfg = SimulationConfig(
+        k=k, n=n,
+        protocol=protocol_name,
+        protocol_params=protocol_params or {},
+        offered_load=0.0,
+        message_length=message_length,
+        warmup_cycles=0,
+        measure_cycles=0,
+    )
+    if config_overrides:
+        cfg = cfg.with_(**config_overrides)
+    topology = KAryNCube(k, n)
+    if faults is not None:
+        assert faults.topology.num_nodes == topology.num_nodes
+        topology = faults.topology
+    return Engine(
+        cfg,
+        make_protocol(protocol_name, **(protocol_params or {})),
+        topology=topology,
+        fault_state=faults,
+        rng=random.Random(seed),
+    )
+
+
+def run_to_completion(engine: Engine, msg, max_cycles: int = 5000):
+    """Step the engine until one message terminates."""
+    for _ in range(max_cycles):
+        engine.step()
+        if msg.is_terminal():
+            return msg
+    raise AssertionError(
+        f"message did not terminate within {max_cycles} cycles: {msg!r}"
+    )
+
+
+def drain_engine(engine: Engine, max_cycles: int = 20_000) -> None:
+    """Run until every message is terminal; assert full drain."""
+    assert engine.drain(max_cycles), (
+        f"network failed to drain: {len(engine.active)} active"
+    )

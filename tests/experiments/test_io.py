@@ -1,0 +1,64 @@
+"""Round-trip tests for experiment JSON persistence."""
+
+import math
+
+import pytest
+
+from repro.experiments.common import Experiment, Point, Series
+from repro.experiments.io import (
+    experiment_from_dict,
+    experiment_to_dict,
+    load_experiment,
+    save_experiment,
+)
+
+
+def sample_experiment() -> Experiment:
+    exp = Experiment(figure="Figure 12", title="t", scale_name="quick")
+    s = Series(label="TP")
+    s.points = [
+        Point(offered_load=0.1, latency=40.5, latency_ci=1.25,
+              throughput=0.099, delivered=120, dropped=1, killed=0,
+              extra={"node_faults": 3}),
+        Point(offered_load=0.2, latency=float("nan"),
+              latency_ci=float("nan"), throughput=0.15, delivered=0,
+              dropped=0, killed=0),
+    ]
+    exp.series.append(s)
+    return exp
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        exp = sample_experiment()
+        restored = experiment_from_dict(experiment_to_dict(exp))
+        assert restored.figure == exp.figure
+        assert restored.series[0].label == "TP"
+        p = restored.series[0].points[0]
+        assert p.latency == 40.5
+        assert p.extra == {"node_faults": 3}
+
+    def test_nan_survives_as_nan(self):
+        exp = sample_experiment()
+        restored = experiment_from_dict(experiment_to_dict(exp))
+        assert math.isnan(restored.series[0].points[1].latency)
+
+    def test_file_round_trip(self, tmp_path):
+        exp = sample_experiment()
+        path = save_experiment(exp, tmp_path / "sub" / "fig12.json")
+        assert path.exists()
+        restored = load_experiment(path)
+        assert restored.title == exp.title
+        assert len(restored.series[0].points) == 2
+
+    def test_version_check(self):
+        data = experiment_to_dict(sample_experiment())
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="format version"):
+            experiment_from_dict(data)
+
+    def test_saturation_computable_after_load(self, tmp_path):
+        exp = sample_experiment()
+        path = save_experiment(exp, tmp_path / "x.json")
+        restored = load_experiment(path)
+        assert restored.series[0].saturation_throughput() >= 0

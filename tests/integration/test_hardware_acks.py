@@ -1,0 +1,77 @@
+"""Tests for the hardware-acknowledgment extension (Section 7.0)."""
+
+import random
+
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Engine
+from repro.sim.simulator import NetworkSimulator, make_protocol
+
+from tests.conftest import drain_engine
+
+
+def idle_engine(hardware_acks: bool, K: int = 3):
+    cfg = SimulationConfig(
+        k=12, n=2, protocol="det", offered_load=0.0,
+        message_length=8, warmup_cycles=0, measure_cycles=0,
+        hardware_acks=hardware_acks,
+    )
+    return Engine(
+        cfg, make_protocol("det", flow="sr", k=K), rng=random.Random(1)
+    )
+
+
+class TestLogicalEquivalence:
+    """'The logical behavior remains unchanged' — same latency on an
+    idle network, acknowledgments just stop consuming the flit slot."""
+
+    def test_idle_latency_identical(self):
+        latencies = {}
+        for hw in (False, True):
+            engine = idle_engine(hw)
+            msg = engine.inject(0, 5, length=8)
+            drain_engine(engine)
+            latencies[hw] = msg.delivered_cycle - msg.created_cycle
+        assert latencies[False] == latencies[True]
+
+    def test_acks_still_counted(self):
+        engine = idle_engine(True)
+        engine.inject(0, 5, length=8)
+        drain_engine(engine)
+        # Header hops + acks + path ack all counted as control flits.
+        assert engine.control_flits_sent > 5
+
+    def test_ack_queues_drain(self):
+        engine = idle_engine(True)
+        engine.inject(0, 5, length=8)
+        drain_engine(engine)
+        assert all(len(q) == 0 for q in engine.ack_out)
+        assert not engine._active_ack
+
+
+class TestBandwidthEffect:
+    def test_hw_acks_free_link_bandwidth_under_load(self):
+        """With heavy conservative-SR ack traffic, dedicated wires must
+        not hurt — and typically help — accepted throughput."""
+        def throughput(hw: bool) -> float:
+            cfg = SimulationConfig(
+                k=6, n=2, protocol="det",
+                protocol_params={"flow": "sr", "k": 2},
+                offered_load=0.35, message_length=8,
+                warmup_cycles=300, measure_cycles=1500, seed=9,
+                hardware_acks=hw,
+            )
+            return NetworkSimulator(cfg).run().throughput
+
+        assert throughput(True) >= throughput(False) * 0.98
+
+    def test_ack_wires_used_only_when_enabled(self):
+        """Acks ride the dedicated wires iff the extension is on."""
+        for hw in (False, True):
+            engine = idle_engine(hw)
+            engine.inject(0, 5, length=8)
+            saw_ack_queue = False
+            for _ in range(60):
+                engine.step()
+                if any(len(q) for q in engine.ack_out):
+                    saw_ack_queue = True
+            assert saw_ack_queue == hw

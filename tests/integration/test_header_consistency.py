@@ -1,0 +1,95 @@
+"""Header-state consistency invariants during live routing.
+
+The Figure 9 header carries per-dimension offsets updated on every
+forward hop and backtrack; at any instant they must equal the true
+shortest offsets from the header's current node to the destination —
+misrouting, U-turns, and backtracking included.  Same for the misroute
+count vs the path's unprofitable links.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.injection import place_random_node_faults
+from repro.faults.model import FaultState
+from repro.network.topology import KAryNCube
+from repro.sim.message import HeaderPhase
+
+from tests.conftest import build_engine
+
+
+def check_offsets(engine, messages):
+    topo = engine.topology
+    for msg in messages:
+        if msg.is_terminal() or msg.teardown:
+            continue
+        if msg.header_phase is not HeaderPhase.PENDING:
+            continue  # in flight: position not yet committed
+        node = msg.current_node()
+        assert tuple(msg.header.offsets) == topo.offsets(node, msg.dst), (
+            f"msg {msg.msg_id} at node {node}: header offsets "
+            f"{msg.header.offsets} vs true {topo.offsets(node, msg.dst)}"
+        )
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=5000),
+    num_faults=st.integers(min_value=0, max_value=4),
+    proto=st.sampled_from([("tp", {}), ("tp", {"k_unsafe": 3}),
+                           ("mb", {})]),
+)
+@settings(max_examples=20, deadline=None)
+def test_header_offsets_always_true_offsets(seed, num_faults, proto):
+    protocol_name, params = proto
+    rng = random.Random(seed)
+    topo = KAryNCube(6, 2)
+    faults = FaultState(topo)
+    if num_faults:
+        place_random_node_faults(faults, num_faults, rng)
+    engine = build_engine(
+        protocol_name, k=6, faults=faults, seed=seed,
+        protocol_params=params, message_length=6,
+    )
+    healthy = [
+        n for n in range(topo.num_nodes) if not faults.is_node_faulty(n)
+    ]
+    messages = []
+    for _ in range(6):
+        src = rng.choice(healthy)
+        dst = rng.choice([n for n in healthy if n != src])
+        messages.append(engine.inject(src, dst, length=6))
+    for _ in range(2500):
+        engine.step()
+        check_offsets(engine, messages)
+        if all(m.is_terminal() for m in messages):
+            break
+
+
+@given(seed=st.integers(min_value=0, max_value=5000))
+@settings(max_examples=12, deadline=None)
+def test_misroute_count_matches_path_unprofitable_links(seed):
+    rng = random.Random(seed)
+    topo = KAryNCube(6, 2)
+    faults = FaultState(topo)
+    place_random_node_faults(faults, 3, rng)
+    engine = build_engine("mb", k=6, faults=faults, seed=seed,
+                          message_length=4)
+    healthy = [
+        n for n in range(topo.num_nodes) if not faults.is_node_faulty(n)
+    ]
+    src = rng.choice(healthy)
+    dst = rng.choice([n for n in healthy if n != src])
+    msg = engine.inject(src, dst, length=4)
+    for _ in range(2500):
+        engine.step()
+        # MB-m (no detour-mode resets): the header misroute field must
+        # equal the number of misrouted links currently on the path.
+        if not msg.is_terminal() and not msg.teardown and (
+            msg.header_phase is HeaderPhase.PENDING
+        ):
+            assert msg.header.misroutes == sum(msg.link_misroute)
+        if msg.is_terminal():
+            break
+    assert msg.is_terminal()

@@ -1,0 +1,84 @@
+"""Integration validation: simulated latencies == Section 2.2 formulas.
+
+This is the simulator's primary oracle (the paper validated its own
+simulator against deterministic patterns [14]): for a single message on
+an idle network, the flit-level simulation must reproduce the
+closed-form minimum latencies of wormhole routing, scouting with any
+distance K, and pipelined circuit switching *exactly*.
+"""
+
+import pytest
+
+from repro.core.latency_model import t_pcs, t_scouting, t_wormhole
+from repro.experiments.formula_table import measure_single_message
+
+LINKS = (1, 2, 3, 5, 7)
+LENGTHS = (1, 4, 32)
+
+
+class TestWormholeExact:
+    @pytest.mark.parametrize("links", LINKS)
+    @pytest.mark.parametrize("length", LENGTHS)
+    def test_wr(self, links, length):
+        assert measure_single_message("wr", links, length) == t_wormhole(
+            links, length
+        )
+
+
+class TestPCSExact:
+    @pytest.mark.parametrize("links", LINKS)
+    @pytest.mark.parametrize("length", LENGTHS)
+    def test_pcs(self, links, length):
+        assert measure_single_message("pcs", links, length) == t_pcs(
+            links, length
+        )
+
+
+class TestScoutingExact:
+    @pytest.mark.parametrize("links", LINKS)
+    @pytest.mark.parametrize("length", (1, 32))
+    @pytest.mark.parametrize("k", (1, 2, 3, 5))
+    def test_sr(self, links, length, k):
+        want = (
+            t_scouting(links, length, k)
+            if k <= links
+            else t_pcs(links, length)
+        )
+        assert measure_single_message("sr", links, length, k) == want
+
+    def test_sr_k_equals_path_matches_pcs(self):
+        # At K == l the scouting delay equals the PCS setup cost.
+        assert t_scouting(4, 16, 4) == t_pcs(4, 16)
+        assert measure_single_message("sr", 4, 16, 4) == t_pcs(4, 16)
+
+
+class TestProtocolZeroLoad:
+    """The full protocols also hit their mechanism's floor latency."""
+
+    def _run_one(self, protocol_name, params, src, dst, length, k=8):
+        from tests.conftest import build_engine, run_to_completion
+
+        engine = build_engine(
+            protocol_name, k=k, protocol_params=params,
+            message_length=length,
+        )
+        msg = engine.inject(src, dst, length=length)
+        run_to_completion(engine, msg)
+        return msg.delivered_cycle - msg.created_cycle
+
+    def test_dp_hits_wormhole_floor(self):
+        assert self._run_one("dp", {}, 0, 3, 16) == t_wormhole(3, 16)
+
+    def test_tp_hits_wormhole_floor_fault_free(self):
+        # TP with K=0 and no faults behaves like WR (Section 6.1).
+        assert self._run_one("tp", {}, 0, 3, 16) == t_wormhole(3, 16)
+
+    def test_mb_hits_pcs_floor(self):
+        assert self._run_one("mb", {}, 0, 3, 16) == t_pcs(3, 16)
+
+    def test_tp_multidimensional_path(self):
+        from repro.network.topology import KAryNCube
+
+        topo = KAryNCube(8, 2)
+        dst = topo.node_id((2, 3))
+        assert self._run_one("tp", {}, 0, dst, 16) == t_wormhole(5, 16)

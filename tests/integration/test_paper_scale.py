@@ -1,0 +1,41 @@
+"""Paper-scale (16-ary 2-cube) smoke checks.
+
+The full paper-scale figure suite takes tens of minutes
+(``REPRO_PAPER_SCALE=1 pytest benchmarks/``); these tests verify the
+256-node configuration itself works — one moderate-load point per
+protocol — and run in the regular suite with a short horizon.
+"""
+
+from repro.sim.config import FaultConfig, SimulationConfig
+from repro.sim.simulator import NetworkSimulator
+
+
+def paper_point(protocol, faults=0, load=0.1, cycles=1200, seed=5):
+    cfg = SimulationConfig(
+        k=16, n=2, protocol=protocol, offered_load=load,
+        message_length=32, warmup_cycles=400, measure_cycles=cycles,
+        drain_cycles=4000, seed=seed,
+        faults=FaultConfig(static_node_faults=faults),
+    )
+    return NetworkSimulator(cfg).run()
+
+
+class TestPaperScaleSmoke:
+    def test_tp_fault_free_16ary(self):
+        result = paper_point("tp")
+        assert result.delivered > 100
+        # Average minimal distance on a 16-ary 2-cube is 8; latency
+        # floor ~40 cycles for 32-flit messages.
+        assert 38 < result.latency_mean < 90
+
+    def test_tp_with_paper_fault_count(self):
+        result = paper_point("tp", faults=10)
+        assert result.delivered > 100
+        assert result.killed == 0
+
+    def test_mb_fault_free_16ary(self):
+        result = paper_point("mb")
+        assert result.delivered > 100
+        # PCS pays roughly 2l extra: clearly above TP's floor.
+        tp = paper_point("tp")
+        assert result.latency_mean > tp.latency_mean * 1.15

@@ -1,0 +1,89 @@
+"""Qualitative shape checks matching the paper's headline claims."""
+
+import pytest
+
+from repro.sim.config import FaultConfig, SimulationConfig
+from repro.sim.simulator import NetworkSimulator
+
+
+def run(protocol, params=None, faults=0, load=0.1, seed=3, k=8,
+        measure=2000):
+    cfg = SimulationConfig(
+        k=k, n=2, protocol=protocol, protocol_params=params or {},
+        offered_load=load, warmup_cycles=400, measure_cycles=measure,
+        seed=seed, faults=FaultConfig(static_node_faults=faults),
+    )
+    return NetworkSimulator(cfg).run()
+
+
+class TestFaultFreeShapes:
+    """Figure 12: TP ~ DP << MB-m."""
+
+    def test_tp_matches_dp_within_two_percent(self):
+        tp = run("tp", load=0.1)
+        dp = run("dp", load=0.1)
+        assert tp.latency_mean == pytest.approx(dp.latency_mean, rel=0.02)
+
+    def test_mb_latency_clearly_higher(self):
+        mb = run("mb", load=0.1)
+        dp = run("dp", load=0.1)
+        assert mb.latency_mean > dp.latency_mean * 1.15
+
+    def test_all_deliver_everything_fault_free(self):
+        for proto in ("tp", "dp", "mb"):
+            result = run(proto, load=0.1)
+            assert result.dropped == 0 and result.killed == 0
+
+
+class TestFaultedShapes:
+    """Figure 13: TP latency below MB-m under faults."""
+
+    def test_tp_beats_mb_at_low_fault_count(self):
+        tp = run("tp", faults=3, load=0.1, seed=11)
+        mb = run("mb", faults=3, load=0.1, seed=11)
+        assert tp.latency_mean < mb.latency_mean
+
+    def test_latency_grows_with_faults(self):
+        low = run("tp", faults=1, load=0.1, seed=11)
+        high = run("tp", faults=10, load=0.1, seed=11)
+        assert high.latency_mean > low.latency_mean
+
+
+class TestFigure15Shape:
+    """Aggressive TP no worse than conservative at high faults/load."""
+
+    def test_aggressive_vs_conservative(self):
+        aggressive = run(
+            "tp", {"k_unsafe": 0}, faults=8, load=0.15, seed=11
+        )
+        conservative = run(
+            "tp", {"k_unsafe": 3}, faults=8, load=0.15, seed=11
+        )
+        assert aggressive.latency_mean <= conservative.latency_mean * 1.10
+
+    def test_conservative_generates_ack_traffic(self):
+        cfg = lambda k_unsafe: SimulationConfig(  # noqa: E731
+            k=8, n=2, protocol="tp",
+            protocol_params={"k_unsafe": k_unsafe},
+            offered_load=0.1, warmup_cycles=200, measure_cycles=1500,
+            seed=11, faults=FaultConfig(static_node_faults=8),
+        )
+        sims = {}
+        for k_unsafe in (0, 3):
+            sim = NetworkSimulator(cfg(k_unsafe))
+            sim.run()
+            sims[k_unsafe] = sim.engine.control_flits_sent
+        assert sims[3] > sims[0]
+
+
+class TestThroughputSanity:
+    def test_throughput_tracks_offered_below_saturation(self):
+        for proto in ("tp", "dp"):
+            result = run(proto, load=0.08)
+            assert result.throughput == pytest.approx(0.08, rel=0.15)
+
+    def test_saturation_bounded(self):
+        # Offered load far beyond capacity: accepted throughput must
+        # flatten well below the offered rate.
+        result = run("tp", load=0.9, measure=1500)
+        assert result.throughput < 0.7

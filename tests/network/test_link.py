@@ -1,0 +1,101 @@
+"""Unit tests for physical-channel bandwidth allocation primitives."""
+
+import pytest
+
+from repro.network.link import ControlQueue, RoundRobinArbiter
+
+
+class TestControlQueue:
+    def test_fifo_order(self):
+        q = ControlQueue()
+        for i in range(5):
+            q.push(i)
+        assert [q.pop() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_len_and_bool(self):
+        q = ControlQueue()
+        assert not q
+        q.push("x")
+        assert q and len(q) == 1
+
+    def test_peek_does_not_remove(self):
+        q = ControlQueue()
+        q.push("a")
+        assert q.peek() == "a"
+        assert len(q) == 1
+
+    def test_peek_empty_returns_none(self):
+        assert ControlQueue().peek() is None
+
+    def test_sent_counter(self):
+        q = ControlQueue()
+        q.push(1)
+        q.push(2)
+        q.pop()
+        q.pop()
+        assert q.sent == 2
+
+    def test_drain_empties_and_returns_all(self):
+        q = ControlQueue()
+        for i in range(3):
+            q.push(i)
+        assert q.drain() == [0, 1, 2]
+        assert not q
+
+
+class TestRoundRobinArbiter:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(0)
+
+    def test_single_requester(self):
+        arb = RoundRobinArbiter(1)
+        assert arb.grant([True]) == 0
+        assert arb.grant([False]) is None
+
+    def test_rotates_among_requesters(self):
+        arb = RoundRobinArbiter(3)
+        grants = [arb.grant([True, True, True]) for _ in range(6)]
+        assert grants == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_idle_requesters(self):
+        arb = RoundRobinArbiter(3)
+        assert arb.grant([False, True, False]) == 1
+        assert arb.grant([True, False, True]) == 2
+        assert arb.grant([True, False, True]) == 0
+
+    def test_none_when_no_requests(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.grant([False] * 4) is None
+
+    def test_wrong_width_raises(self):
+        arb = RoundRobinArbiter(2)
+        with pytest.raises(ValueError):
+            arb.grant([True])
+
+    def test_grant_from_candidate_list(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.grant_from([2, 3]) == 2
+        assert arb.grant_from([2, 3]) == 3
+        assert arb.grant_from([2, 3]) == 2
+
+    def test_grant_from_empty(self):
+        assert RoundRobinArbiter(4).grant_from([]) is None
+
+    def test_grant_from_fairness_across_all(self):
+        arb = RoundRobinArbiter(3)
+        seen = [arb.grant_from([0, 1, 2]) for _ in range(9)]
+        assert seen.count(0) == seen.count(1) == seen.count(2) == 3
+
+    def test_grant_from_matches_grant(self):
+        a = RoundRobinArbiter(4)
+        b = RoundRobinArbiter(4)
+        requests = [
+            [True, False, True, False],
+            [False, True, True, True],
+            [True, True, False, False],
+        ]
+        for req in requests * 3:
+            want = a.grant(req)
+            got = b.grant_from([i for i, r in enumerate(req) if r])
+            assert want == got

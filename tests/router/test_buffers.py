@@ -1,0 +1,90 @@
+"""Unit tests for the router flit buffers (DIBU/DOBU/CIBU/COBU)."""
+
+import pytest
+
+from repro.router.buffers import (
+    BufferBlocked,
+    BufferOverflow,
+    BufferUnderflow,
+    ChannelBuffers,
+    FlitFifo,
+)
+
+
+class TestFlitFifo:
+    def test_fifo_order(self):
+        buf = FlitFifo(4)
+        for i in range(4):
+            buf.push(i)
+        assert [buf.pop() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_capacity_enforced(self):
+        buf = FlitFifo(2)
+        buf.push("a")
+        buf.push("b")
+        with pytest.raises(BufferOverflow):
+            buf.push("c")
+
+    def test_underflow(self):
+        with pytest.raises(BufferUnderflow):
+            FlitFifo(1).pop()
+
+    def test_output_enable_blocks_pop(self):
+        buf = FlitFifo(2)
+        buf.push("x")
+        buf.output_enabled = False
+        with pytest.raises(BufferBlocked):
+            buf.pop()
+        buf.output_enabled = True
+        assert buf.pop() == "x"
+
+    def test_free_slots(self):
+        buf = FlitFifo(3)
+        assert buf.free_slots == 3
+        buf.push(1)
+        assert buf.free_slots == 2
+
+    def test_full_empty_flags(self):
+        buf = FlitFifo(1)
+        assert buf.empty and not buf.full
+        buf.push(1)
+        assert buf.full and not buf.empty
+
+    def test_peek(self):
+        buf = FlitFifo(2)
+        assert buf.peek() is None
+        buf.push(7)
+        assert buf.peek() == 7 and len(buf) == 1
+
+    def test_clear_for_kill_recovery(self):
+        buf = FlitFifo(4)
+        for i in range(3):
+            buf.push(i)
+        buf.clear()
+        assert buf.empty
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            FlitFifo(0)
+
+
+class TestChannelBuffers:
+    def test_per_vc_data_buffers(self):
+        chans = ChannelBuffers(num_vcs=3, data_depth=2, control_depth=4)
+        assert len(chans.data) == 3
+        assert all(b.capacity == 2 for b in chans.data)
+        assert chans.control.capacity == 4
+
+    def test_occupancy(self):
+        chans = ChannelBuffers(num_vcs=2, data_depth=2, control_depth=2)
+        chans.data[0].push("f")
+        chans.data[1].push("g")
+        assert chans.data_occupancy() == 2
+
+    def test_side_naming(self):
+        inp = ChannelBuffers(1, 1, 1, side="in")
+        out = ChannelBuffers(1, 1, 1, side="out")
+        assert inp.data[0].name.startswith("DIBU")
+        assert out.data[0].name.startswith("DOBU")
+        assert inp.control.name == "CIBU"
+        assert out.control.name == "COBU"

@@ -1,0 +1,97 @@
+"""Unit tests for the counter management unit (Section 5.0)."""
+
+import pytest
+
+from repro.router.cmu import CounterManagementUnit, VCCounter
+
+
+class TestVCCounter:
+    def test_two_bit_counter_for_k3(self):
+        c = VCCounter(bits=2)
+        c.program(circuit=1, k=3)
+        assert c.max_value == 3
+
+    def test_k_must_fit_width(self):
+        c = VCCounter(bits=2)
+        with pytest.raises(ValueError):
+            c.program(circuit=1, k=4)
+
+    def test_enable_at_k(self):
+        c = VCCounter(bits=2)
+        c.program(circuit=1, k=3)
+        for _ in range(2):
+            c.positive_ack()
+        assert not c.data_enabled
+        c.positive_ack()
+        assert c.data_enabled
+
+    def test_negative_ack_decrements(self):
+        c = VCCounter(bits=2)
+        c.program(circuit=1, k=2)
+        c.positive_ack()
+        c.positive_ack()
+        assert c.data_enabled
+        c.negative_ack()
+        assert not c.data_enabled
+
+    def test_saturates_at_max(self):
+        c = VCCounter(bits=2)
+        c.program(circuit=1, k=3)
+        for _ in range(10):
+            c.positive_ack()
+        assert c.value == 3
+
+    def test_floors_at_zero(self):
+        c = VCCounter(bits=2)
+        c.program(circuit=1, k=1)
+        c.negative_ack()
+        assert c.value == 0
+
+    def test_k_zero_enabled_immediately(self):
+        c = VCCounter(bits=2)
+        c.program(circuit=1, k=0)
+        assert c.data_enabled
+
+    def test_release_clears(self):
+        c = VCCounter(bits=2)
+        c.program(circuit=1, k=3)
+        c.positive_ack()
+        c.release()
+        assert c.circuit is None and c.value == 0
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            VCCounter(bits=0)
+
+
+class TestCMU:
+    def test_ack_routed_by_circuit(self):
+        cmu = CounterManagementUnit(num_ports=5, num_vcs=3, max_k=3)
+        cmu.program(port=1, vc=2, circuit=77, k=2)
+        assert cmu.ack_arrived(77)
+        assert cmu.ack_arrived(77)
+        assert cmu.data_enabled(77)
+
+    def test_unknown_circuit_ack_dropped(self):
+        cmu = CounterManagementUnit(5, 3)
+        assert not cmu.ack_arrived(99)
+        assert not cmu.data_enabled(99)
+
+    def test_negative_ack(self):
+        cmu = CounterManagementUnit(5, 3)
+        cmu.program(0, 0, circuit=5, k=1)
+        cmu.ack_arrived(5)
+        cmu.ack_arrived(5, positive=False)
+        assert not cmu.data_enabled(5)
+
+    def test_release_unmaps(self):
+        cmu = CounterManagementUnit(5, 3)
+        cmu.program(0, 0, circuit=5, k=0)
+        cmu.release(5)
+        assert not cmu.ack_arrived(5)
+
+    def test_counter_width_follows_max_k(self):
+        cmu = CounterManagementUnit(5, 3, max_k=3)
+        assert cmu.counter(0, 0).bits == 2
+        cmu7 = CounterManagementUnit(5, 3, max_k=7)
+        assert cmu7.counter(0, 0).bits == 3

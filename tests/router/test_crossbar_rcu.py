@@ -1,0 +1,126 @@
+"""Unit tests for the crossbar and routing control unit structures."""
+
+import pytest
+
+from repro.core.header import Header
+from repro.router.crossbar import Crossbar, CrossbarConflict
+from repro.router.rcu import HistoryStore, RoutingControlUnit, UnsafeStore
+
+
+class TestCrossbar:
+    def test_connect_and_lookup(self):
+        xbar = Crossbar(5, 3)
+        xbar.connect((0, 1), (2, 0))
+        assert xbar.output_for((0, 1)) == (2, 0)
+        assert xbar.input_for((2, 0)) == (0, 1)
+
+    def test_output_conflict_rejected(self):
+        xbar = Crossbar(5, 3)
+        xbar.connect((0, 0), (2, 0))
+        with pytest.raises(CrossbarConflict):
+            xbar.connect((1, 0), (2, 0))
+
+    def test_input_conflict_rejected(self):
+        xbar = Crossbar(5, 3)
+        xbar.connect((0, 0), (2, 0))
+        with pytest.raises(CrossbarConflict):
+            xbar.connect((0, 0), (3, 0))
+
+    def test_disconnect_frees_both_sides(self):
+        xbar = Crossbar(5, 3)
+        xbar.connect((0, 0), (2, 0))
+        xbar.disconnect((0, 0))
+        assert xbar.output_for((0, 0)) is None
+        xbar.connect((1, 1), (2, 0))  # output reusable
+
+    def test_permutation_valid(self):
+        xbar = Crossbar(4, 2)
+        xbar.connect((0, 0), (1, 0))
+        xbar.connect((1, 0), (0, 0))
+        assert xbar.is_permutation_valid()
+
+    def test_range_check(self):
+        xbar = Crossbar(2, 2)
+        with pytest.raises(ValueError):
+            xbar.connect((2, 0), (0, 0))
+
+    def test_connections_listing(self):
+        xbar = Crossbar(3, 2)
+        xbar.connect((1, 0), (2, 1))
+        assert xbar.connections == [((1, 0), (2, 1))]
+
+
+class TestUnsafeStore:
+    def test_mark_and_query(self):
+        store = UnsafeStore(5)
+        store.mark(3)
+        assert store.is_unsafe(3)
+        assert not store.is_unsafe(2)
+
+    def test_unmark(self):
+        store = UnsafeStore(5)
+        store.mark(1)
+        store.mark(1, unsafe=False)
+        assert not store.is_unsafe(1)
+
+    def test_one_bit_per_physical_channel(self):
+        assert UnsafeStore(5).size_bits == 5
+
+
+class TestHistoryStore:
+    def test_record_and_lookup(self):
+        store = HistoryStore(5, 3)
+        store.record(0, 1, 4)
+        store.record(0, 1, 2)
+        assert store.searched(0, 1) == {4, 2}
+
+    def test_isolated_per_input_vc(self):
+        store = HistoryStore(5, 3)
+        store.record(0, 1, 4)
+        assert store.searched(0, 2) == set()
+
+    def test_clear_on_release(self):
+        store = HistoryStore(5, 3)
+        store.record(2, 0, 1)
+        store.clear(2, 0)
+        assert store.searched(2, 0) == set()
+
+    def test_range_check(self):
+        store = HistoryStore(5, 3)
+        with pytest.raises(ValueError):
+            store.record(5, 0, 0)
+
+
+class TestRCU:
+    def test_header_width_matches_figure9(self):
+        rcu = RoutingControlUnit(k=16, n=2, num_vcs=3)
+        # 1+1+3+1+1 + 2*5 = 17 bits for a 16-ary 2-cube.
+        assert rcu.header_width_bits == 17
+
+    def test_port_numbering(self):
+        rcu = RoutingControlUnit(16, 2, 3)
+        assert rcu.num_ports == 5
+        assert rcu.port_of(0, +1) == 0
+        assert rcu.port_of(0, -1) == 1
+        assert rcu.port_of(1, +1) == 2
+        assert rcu.pe_port == 4
+
+    def test_port_validation(self):
+        rcu = RoutingControlUnit(16, 2, 3)
+        with pytest.raises(ValueError):
+            rcu.port_of(2, +1)
+        with pytest.raises(ValueError):
+            rcu.port_of(0, 0)
+
+    def test_update_header_applies_hop_and_reencodes(self):
+        rcu = RoutingControlUnit(16, 2, 3)
+        header = Header(offsets=[2, 0])
+        word = rcu.update_header(header, 0, +1)
+        decoded = rcu.decode_header(word)
+        assert decoded.offsets == [1, 0]
+
+    def test_update_header_misroute_counts(self):
+        rcu = RoutingControlUnit(16, 2, 3)
+        header = Header(offsets=[2, 0])
+        word = rcu.update_header(header, 1, +1, misroute=True)
+        assert rcu.decode_header(word).misroutes == 1

@@ -1,0 +1,128 @@
+"""Block-level tests of the assembled router datapath (Figure 8)."""
+
+from repro.core.header import Header, encode
+from repro.router.lcu import CONTROL_SLOT, LinkControlUnit
+from repro.router.model import RouterModel
+
+
+def straight_ahead(header, in_port, in_vc):
+    """Decision stub: forward along dimension 0 positive on VC 2."""
+    return (0, 2, 0, +1, 3, False)
+
+
+class TestHeaderDatapath:
+    def test_process_header_maps_and_updates(self):
+        router = RouterModel(k=16, n=2)
+        word = encode(Header(offsets=[3, 0]), 16)
+        routed = router.process_header(
+            word, in_port=1, in_vc=2, circuit=7, decide=straight_ahead
+        )
+        assert routed is not None
+        decoded = router.rcu.decode_header(routed.word)
+        assert decoded.offsets == [2, 0]
+        assert router.crossbar.output_for((1, 2)) == (0, 2)
+        assert not router.outputs[0].control.empty
+
+    def test_blocking_decision_returns_none(self):
+        router = RouterModel(k=16, n=2)
+        word = encode(Header(offsets=[1, 0]), 16)
+        assert router.process_header(
+            word, 0, 0, circuit=1, decide=lambda *a: None
+        ) is None
+
+    def test_counter_gates_data(self):
+        router = RouterModel(k=16, n=2)
+        word = encode(Header(offsets=[3, 0]), 16)
+        router.process_header(word, 1, 2, circuit=7, decide=straight_ahead)
+        assert not router.data_gate_open(7)  # K=3, no acks yet
+        for _ in range(3):
+            router.cmu.ack_arrived(7)
+        assert router.data_gate_open(7)
+
+    def test_backtrack_records_history_and_unmaps(self):
+        router = RouterModel(k=16, n=2)
+        word = encode(Header(offsets=[3, 0]), 16)
+        routed = router.process_header(
+            word, 1, 2, circuit=7, decide=straight_ahead
+        )
+        back = router.backtrack_header(
+            routed.word, 1, 2, circuit=7, out_port=routed.out_port
+        )
+        assert router.rcu.decode_header(back).backtrack
+        assert router.rcu.history_store.searched(1, 2) == {0}
+        assert router.crossbar.output_for((1, 2)) is None
+
+
+class TestDataDatapath:
+    def test_transfer_moves_between_buffers(self):
+        router = RouterModel(k=16, n=2)
+        router.crossbar.connect((1, 0), (2, 1))
+        router.inputs[1].data[0].push("flit")
+        assert router.transfer_data_flit(1, 0)
+        assert router.outputs[2].data[1].pop() == "flit"
+
+    def test_transfer_requires_mapping(self):
+        router = RouterModel(k=16, n=2)
+        router.inputs[1].data[0].push("flit")
+        assert not router.transfer_data_flit(1, 0)
+
+    def test_transfer_blocked_by_dibu_enable(self):
+        router = RouterModel(k=16, n=2)
+        router.crossbar.connect((1, 0), (2, 1))
+        router.inputs[1].data[0].push("flit")
+        router.inputs[1].data[0].output_enabled = False
+        assert not router.transfer_data_flit(1, 0)
+
+    def test_transfer_blocked_by_full_output(self):
+        router = RouterModel(k=16, n=2, data_depth=1)
+        router.crossbar.connect((1, 0), (2, 1))
+        router.inputs[1].data[0].push("a")
+        router.outputs[2].data[1].push("b")
+        assert not router.transfer_data_flit(1, 0)
+
+
+class TestOutputAllocation:
+    def test_control_has_priority(self):
+        router = RouterModel(k=16, n=2)
+        router.outputs[0].control.push("hdr")
+        router.outputs[0].data[0].push("d")
+        assert router.allocate_output(0) == CONTROL_SLOT
+
+    def test_data_round_robin(self):
+        router = RouterModel(k=16, n=2)
+        router.outputs[0].data[0].push("a")
+        router.outputs[0].data[1].push("b")
+        first = router.allocate_output(0)
+        router.outputs[0].data[first].pop()
+        second = router.allocate_output(0)
+        assert {first, second} == {0, 1}
+
+    def test_idle_returns_none(self):
+        router = RouterModel(k=16, n=2)
+        assert router.allocate_output(3) is None
+
+
+class TestLCUDirect:
+    def test_credit_gating(self):
+        lcu = LinkControlUnit(2)
+        got = lcu.allocate(
+            control_pending=False,
+            data_requests=[True, True],
+            credits=[0, 1],
+        )
+        assert got == 1
+
+    def test_counts(self):
+        lcu = LinkControlUnit(1)
+        lcu.allocate(True, [False], [0])
+        lcu.allocate(False, [True], [1])
+        assert lcu.control_sent == 1 and lcu.data_sent == 1
+
+
+class TestHardwareSummary:
+    def test_paper_scale_costs(self):
+        summary = RouterModel(k=16, n=2).hardware_summary()
+        assert summary["header_bits"] == 17
+        assert summary["counter_bits_per_vc"] == 2
+        assert summary["ports"] == 5
+        assert summary["unsafe_store_bits"] == 5

@@ -1,0 +1,140 @@
+"""Unit tests for dimension-order routing and dateline classes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.channel import VCClass
+from repro.network.topology import MINUS, PLUS, KAryNCube
+from repro.routing.dimension_order import (
+    crosses_wrap,
+    dateline_class,
+    deterministic_route,
+    next_hop,
+)
+
+
+class TestNextHop:
+    def test_none_at_destination(self, torus8):
+        assert next_hop(torus8, 7, 7) is None
+
+    def test_lowest_dimension_first(self, torus8):
+        src = torus8.node_id((0, 0))
+        dst = torus8.node_id((2, 3))
+        assert next_hop(torus8, src, dst) == (0, PLUS)
+
+    def test_moves_to_higher_dim_when_low_done(self, torus8):
+        src = torus8.node_id((2, 0))
+        dst = torus8.node_id((2, 3))
+        assert next_hop(torus8, src, dst) == (1, PLUS)
+
+    def test_short_way_around(self, torus8):
+        src = torus8.node_id((0, 0))
+        dst = torus8.node_id((7, 0))
+        assert next_hop(torus8, src, dst) == (0, MINUS)
+
+    def test_full_path_is_minimal(self, torus8):
+        src, dst = 3, 60
+        node = src
+        hops = 0
+        while node != dst:
+            dim, direction = next_hop(torus8, node, dst)
+            node = torus8.neighbor(node, dim, direction)
+            hops += 1
+            assert hops <= torus8.distance(src, dst)
+        assert hops == torus8.distance(src, dst)
+
+    @given(st.integers(min_value=3, max_value=9), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_always_profitable(self, k, data):
+        topo = KAryNCube(k, 2)
+        nodes = st.integers(min_value=0, max_value=topo.num_nodes - 1)
+        src, dst = data.draw(nodes), data.draw(nodes)
+        if src == dst:
+            return
+        dim, direction = next_hop(topo, src, dst)
+        assert topo.is_profitable(src, dst, dim, direction)
+
+
+class TestDateline:
+    def test_no_wrap_needed(self, torus8):
+        src = torus8.node_id((1, 0))
+        dst = torus8.node_id((3, 0))
+        assert not crosses_wrap(torus8, src, dst, 0, PLUS)
+        assert dateline_class(torus8, src, dst, 0, PLUS) is (
+            VCClass.DETERMINISTIC_1
+        )
+
+    def test_wrap_ahead_uses_class0(self, torus8):
+        src = torus8.node_id((6, 0))
+        dst = torus8.node_id((1, 0))
+        assert crosses_wrap(torus8, src, dst, 0, PLUS)
+        assert dateline_class(torus8, src, dst, 0, PLUS) is (
+            VCClass.DETERMINISTIC_0
+        )
+
+    def test_after_wrap_switches_to_class1(self, torus8):
+        src = torus8.node_id((0, 0))
+        dst = torus8.node_id((1, 0))
+        assert not crosses_wrap(torus8, src, dst, 0, PLUS)
+
+    def test_negative_direction_wrap(self, torus8):
+        src = torus8.node_id((1, 0))
+        dst = torus8.node_id((6, 0))
+        assert crosses_wrap(torus8, src, dst, 0, MINUS)
+
+    def test_class1_never_uses_wrap_edge(self, torus8):
+        """The dateline invariant that breaks ring cycles."""
+        k = torus8.k
+        for t in range(k):
+            dst = torus8.node_id((t, 0))
+            # Positive wrap edge leaves coordinate k-1.
+            src = torus8.node_id((k - 1, 0))
+            if t != k - 1:
+                cls = dateline_class(torus8, src, dst, 0, PLUS)
+                assert cls is VCClass.DETERMINISTIC_0
+            # Negative wrap edge leaves coordinate 0.
+            src = torus8.node_id((0, 0))
+            if t != 0:
+                cls = dateline_class(torus8, src, dst, 0, MINUS)
+                assert cls is VCClass.DETERMINISTIC_0
+
+    def test_class0_edges_acyclic_per_ring(self, torus8):
+        """Class-0 edges never cover a whole ring for any destination."""
+        k = torus8.k
+        for t in range(k):
+            dst = torus8.node_id((t, 0))
+            class0_edges = 0
+            for c in range(k):
+                src = torus8.node_id((c, 0))
+                if c == t:
+                    continue
+                hop = next_hop(torus8, src, dst)
+                if hop is None or hop[0] != 0:
+                    continue
+                if dateline_class(torus8, src, dst, 0, hop[1]) is (
+                    VCClass.DETERMINISTIC_0
+                ):
+                    class0_edges += 1
+            assert class0_edges < k
+
+
+class TestDeterministicRoute:
+    def test_returns_none_at_destination(self, torus8):
+        assert deterministic_route(torus8, 5, 5) is None
+
+    def test_combines_hop_and_class(self, torus8):
+        src = torus8.node_id((6, 2))
+        dst = torus8.node_id((1, 2))
+        dim, direction, vclass = deterministic_route(torus8, src, dst)
+        assert (dim, direction) == (0, PLUS)
+        assert vclass is VCClass.DETERMINISTIC_0
+
+    def test_walk_terminates_everywhere(self, torus8):
+        for src in (0, 9, 33):
+            for dst in range(0, torus8.num_nodes, 7):
+                node, steps = src, 0
+                while node != dst:
+                    det = deterministic_route(torus8, node, dst)
+                    node = torus8.neighbor(node, det[0], det[1])
+                    steps += 1
+                    assert steps <= 2 * torus8.k

@@ -1,0 +1,50 @@
+"""CLI tests (repro-sim)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.protocol == "tp"
+        assert args.load == 0.1
+
+    def test_figure_name(self):
+        args = build_parser().parse_args(["figure", "12"])
+        assert args.name == "12"
+
+    def test_sweep_loads_parse(self):
+        args = build_parser().parse_args(["sweep", "--loads", "0.1,0.2"])
+        assert args.loads == "0.1,0.2"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_run_prints_summary(self, capsys):
+        rc = main([
+            "run", "--protocol", "tp", "--k", "4", "--load", "0.05",
+            "--warmup", "100", "--cycles", "400",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "latency" in out and "throughput" in out
+
+    def test_run_with_faults(self, capsys):
+        rc = main([
+            "run", "--protocol", "mb", "--k", "4", "--load", "0.05",
+            "--faults", "2", "--warmup", "100", "--cycles", "400",
+        ])
+        assert rc == 0
+        assert "delivered" in capsys.readouterr().out
+
+    def test_unknown_figure_errors(self, capsys):
+        assert main(["figure", "99"]) == 2
+
+    def test_figure_formulas(self, capsys):
+        assert main(["figure", "formulas"]) == 0
+        assert "mismatches" in capsys.readouterr().out

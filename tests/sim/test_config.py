@@ -1,0 +1,64 @@
+"""Unit tests for simulation configuration."""
+
+import pytest
+
+from repro.sim.config import (
+    FaultConfig,
+    RecoveryConfig,
+    SimulationConfig,
+    paper_scale,
+)
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = SimulationConfig()
+        assert cfg.total_cycles == cfg.warmup_cycles + cfg.measure_cycles
+
+    def test_rejects_bad_load(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(offered_load=1.5)
+        with pytest.raises(ValueError):
+            SimulationConfig(offered_load=-0.1)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(message_length=0)
+
+    def test_rejects_bad_queue_limit(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(injection_queue_limit=0)
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(buffer_depth=0)
+
+
+class TestWith:
+    def test_with_replaces_fields(self):
+        cfg = SimulationConfig(k=8)
+        cfg2 = cfg.with_(k=16, offered_load=0.2)
+        assert cfg2.k == 16 and cfg2.offered_load == 0.2
+        assert cfg.k == 8  # original untouched
+
+    def test_with_validates(self):
+        with pytest.raises(ValueError):
+            SimulationConfig().with_(offered_load=2.0)
+
+    def test_paper_scale(self):
+        cfg = paper_scale(SimulationConfig(k=8))
+        assert cfg.k == 16
+        assert cfg.measure_cycles >= 10_000
+
+
+class TestSubConfigs:
+    def test_fault_config_defaults(self):
+        fc = FaultConfig()
+        assert fc.static_node_faults == 0
+        assert fc.keep_connected
+
+    def test_recovery_defaults(self):
+        rc = RecoveryConfig()
+        assert not rc.tail_ack
+        assert not rc.retransmit
+        assert rc.max_source_retries >= 1

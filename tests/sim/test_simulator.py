@@ -1,0 +1,110 @@
+"""Unit tests for the simulator facade and protocol factory."""
+
+import pytest
+
+from repro.core.two_phase import TwoPhaseProtocol
+from repro.routing.duato import DuatoProtocol
+from repro.routing.mb import MBmProtocol
+from repro.routing.oblivious import DimensionOrderProtocol
+from repro.sim.config import FaultConfig, SimulationConfig
+from repro.sim.simulator import NetworkSimulator, make_protocol, run_config
+
+
+class TestFactory:
+    def test_known_protocols(self):
+        assert isinstance(make_protocol("dp"), DuatoProtocol)
+        assert isinstance(make_protocol("mb"), MBmProtocol)
+        assert isinstance(make_protocol("tp"), TwoPhaseProtocol)
+        assert isinstance(make_protocol("det"), DimensionOrderProtocol)
+
+    def test_params_forwarded(self):
+        proto = make_protocol("tp", k_unsafe=3, misroute_limit=4)
+        assert proto.flow_control.k_unsafe == 3
+        assert proto.misroute_limit == 4
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            make_protocol("chaos")
+
+    def test_bad_params_surface(self):
+        with pytest.raises(TypeError):
+            make_protocol("dp", k_unsafe=3)
+
+
+class TestNetworkSimulator:
+    def test_static_faults_placed(self):
+        cfg = SimulationConfig(
+            k=6, n=2, protocol="tp",
+            faults=FaultConfig(static_node_faults=4),
+            warmup_cycles=10, measure_cycles=10, seed=5,
+        )
+        sim = NetworkSimulator(cfg)
+        assert len(sim.faults.faulty_nodes) == 4
+        assert sim.faults.healthy_nodes_connected()
+
+    def test_traffic_excludes_faulty_nodes(self):
+        cfg = SimulationConfig(
+            k=6, n=2, protocol="tp",
+            faults=FaultConfig(static_node_faults=4),
+            warmup_cycles=10, measure_cycles=10, seed=5,
+        )
+        sim = NetworkSimulator(cfg)
+        assert set(sim.traffic.healthy_nodes).isdisjoint(
+            sim.faults.faulty_nodes
+        )
+
+    def test_dynamic_schedule_built(self):
+        cfg = SimulationConfig(
+            k=6, n=2, protocol="tp",
+            faults=FaultConfig(dynamic_faults=3),
+            warmup_cycles=100, measure_cycles=100,
+        )
+        sim = NetworkSimulator(cfg)
+        assert sim.engine.dynamic_schedule is not None
+        assert len(sim.engine.dynamic_schedule.events) == 3
+
+    def test_run_config_one_shot(self):
+        cfg = SimulationConfig(
+            k=5, n=2, protocol="tp", offered_load=0.05,
+            warmup_cycles=100, measure_cycles=400, seed=3,
+        )
+        result = run_config(cfg)
+        assert result.delivered > 0
+        assert result.latency_count == len(result.latencies)
+
+    def test_same_seed_reproducible(self):
+        cfg = SimulationConfig(
+            k=5, n=2, protocol="tp", offered_load=0.08,
+            warmup_cycles=100, measure_cycles=500, seed=42,
+        )
+        a = run_config(cfg)
+        b = run_config(cfg)
+        assert a.latency_mean == b.latency_mean
+        assert a.throughput == b.throughput
+        assert a.delivered == b.delivered
+
+    def test_different_seed_differs(self):
+        base = SimulationConfig(
+            k=5, n=2, protocol="tp", offered_load=0.08,
+            warmup_cycles=100, measure_cycles=500, seed=1,
+        )
+        a = run_config(base)
+        b = run_config(base.with_(seed=2))
+        assert (a.latency_mean, a.delivered) != (b.latency_mean, b.delivered)
+
+    def test_explicit_protocol_instance(self):
+        cfg = SimulationConfig(
+            k=5, n=2, protocol="tp", offered_load=0.05,
+            warmup_cycles=50, measure_cycles=200,
+        )
+        proto = TwoPhaseProtocol(k_unsafe=3)
+        sim = NetworkSimulator(cfg, protocol=proto)
+        assert sim.protocol is proto
+        result = sim.run()
+        assert result.delivered > 0
+
+    def test_results_before_run(self):
+        cfg = SimulationConfig(k=5, n=2, protocol="tp",
+                               warmup_cycles=10, measure_cycles=10)
+        result = NetworkSimulator(cfg).results()
+        assert result.delivered == 0

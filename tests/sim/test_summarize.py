@@ -1,0 +1,120 @@
+"""Unit tests for RunResult aggregation over a controlled engine."""
+
+import math
+
+import pytest
+
+from repro.sim.stats import MessageRecord, RunResult, summarize
+
+
+class StubTopology:
+    num_nodes = 64
+
+
+class StubEngine:
+    """Minimal engine surface that summarize() consumes."""
+
+    def __init__(self, records, measure_cycles=1000,
+                 delivered_flits=3200, offered_flits=4000,
+                 accepted_flits=3600):
+        self.records = records
+        self.topology = StubTopology()
+        self.cycle = 5000
+        self._measure = measure_cycles
+        self.measured_delivered_flits = delivered_flits
+        self.measured_offered_flits = offered_flits
+        self.measured_accepted_flits = accepted_flits
+        self.retransmissions = 1
+        self.source_retries = 2
+        self.control_flits_sent = 77
+        self.drop_reasons = {"x": 1}
+
+    def measure_window_cycles(self):
+        return self._measure
+
+
+def rec(msg_id, status="DELIVERED", created=600, delivered=700,
+        superseded=False, hops=5, distance=4):
+    return MessageRecord(
+        msg_id=msg_id, src=0, dst=1, status=status, created=created,
+        injected=created + 1, delivered=delivered, distance=distance,
+        hops=hops, misroutes=1, backtracks=0, detours=1,
+        retransmits=0, superseded=superseded,
+    )
+
+
+class TestSummarize:
+    def test_latency_over_measured_window_only(self):
+        records = [
+            rec(1, created=100, delivered=150),   # warmup: excluded
+            rec(2, created=600, delivered=700),   # counted: 100
+            rec(3, created=800, delivered=860),   # counted: 60
+        ]
+        result = summarize(StubEngine(records), warmup=500)
+        assert result.latency_count == 2
+        assert result.latency_mean == pytest.approx(80.0)
+
+    def test_superseded_records_excluded(self):
+        records = [
+            rec(1, status="KILLED", delivered=None, superseded=True),
+            rec(2),
+        ]
+        result = summarize(StubEngine(records), warmup=500)
+        assert result.delivered == 1
+        assert result.killed == 0  # the superseded kill doesn't count
+
+    def test_throughput_normalization(self):
+        result = summarize(StubEngine([rec(1)]), warmup=500)
+        # 3200 flits / (1000 cycles * 64 nodes) = 0.05.
+        assert result.throughput == pytest.approx(0.05)
+        assert result.offered_load == pytest.approx(4000 / 64000)
+        assert result.accepted_load == pytest.approx(3600 / 64000)
+
+    def test_drop_and_kill_counts(self):
+        records = [
+            rec(1),
+            rec(2, status="DROPPED", delivered=None),
+            rec(3, status="KILLED", delivered=None),
+            rec(4, status="DROPPED", delivered=None, created=10),  # warmup
+        ]
+        result = summarize(StubEngine(records), warmup=500)
+        assert result.dropped == 1
+        assert result.killed == 1
+        assert result.delivery_ratio == pytest.approx(1 / 3)
+
+    def test_empty_run_is_nan_not_crash(self):
+        result = summarize(StubEngine([]), warmup=500)
+        assert math.isnan(result.latency_mean)
+        assert result.delivered == 0
+        assert math.isnan(result.delivery_ratio)
+
+    def test_behavioral_means(self):
+        records = [rec(1, hops=4), rec(2, hops=8)]
+        result = summarize(StubEngine(records), warmup=500)
+        assert result.mean_hops == 6.0
+        assert result.total_detours == 2
+
+    def test_counters_passed_through(self):
+        result = summarize(StubEngine([rec(1)]), warmup=500)
+        assert result.retransmissions == 1
+        assert result.source_retries == 2
+        assert result.control_flits == 77
+        assert result.drop_reasons == {"x": 1}
+
+    def test_zero_window_guard(self):
+        engine = StubEngine([rec(1)], measure_cycles=0)
+        result = summarize(engine, warmup=500)
+        assert math.isfinite(result.throughput)  # normalized by >= 1
+
+
+class TestRunResultProperties:
+    def test_delivery_ratio_all_delivered(self):
+        result = RunResult(
+            cycles=10, num_nodes=4, latency_mean=1, latency_ci95=0,
+            latency_count=5, throughput=0.1, offered_load=0.1,
+            accepted_load=0.1, delivered=5, dropped=0, killed=0,
+            retransmissions=0, source_retries=0, mean_hops=1.0,
+            mean_misroutes=0.0, mean_backtracks=0.0, total_detours=0,
+            control_flits=0,
+        )
+        assert result.delivery_ratio == 1.0

@@ -1,0 +1,85 @@
+"""Unit tests for the traffic generators."""
+
+import random
+
+import pytest
+
+from repro.network.topology import KAryNCube
+from repro.sim.traffic import TrafficGenerator
+
+
+class TestUniform:
+    def test_never_self(self, torus8):
+        gen = TrafficGenerator("uniform", torus8, random.Random(1))
+        for src in (0, 17, 63):
+            for _ in range(100):
+                assert gen.destination(src) != src
+
+    def test_covers_many_destinations(self, torus8):
+        gen = TrafficGenerator("uniform", torus8, random.Random(1))
+        seen = {gen.destination(0) for _ in range(600)}
+        assert len(seen) > torus8.num_nodes // 2
+
+    def test_respects_healthy_set(self, torus8):
+        healthy = [0, 1, 2, 3]
+        gen = TrafficGenerator(
+            "uniform", torus8, random.Random(1), healthy_nodes=healthy
+        )
+        for _ in range(50):
+            assert gen.destination(0) in {1, 2, 3}
+
+    def test_none_when_alone(self, torus8):
+        gen = TrafficGenerator(
+            "uniform", torus8, random.Random(1), healthy_nodes=[5]
+        )
+        assert gen.destination(5) is None
+
+    def test_set_healthy_nodes_updates(self, torus8):
+        gen = TrafficGenerator("uniform", torus8, random.Random(1))
+        gen.set_healthy_nodes([0, 9])
+        assert gen.destination(0) == 9
+
+
+class TestDeterministicPatterns:
+    def test_nearest_is_one_hop(self, torus8):
+        gen = TrafficGenerator("nearest", torus8, random.Random(1))
+        for src in range(0, 64, 5):
+            dst = gen.destination(src)
+            assert torus8.distance(src, dst) == 1
+
+    def test_transpose_swaps_coords(self, torus8):
+        gen = TrafficGenerator("transpose", torus8, random.Random(1))
+        src = torus8.node_id((2, 5))
+        assert gen.destination(src) == torus8.node_id((5, 2))
+
+    def test_transpose_diagonal_is_none(self, torus8):
+        gen = TrafficGenerator("transpose", torus8, random.Random(1))
+        assert gen.destination(torus8.node_id((3, 3))) is None
+
+    def test_tornado_half_ring(self, torus8):
+        gen = TrafficGenerator("tornado", torus8, random.Random(1))
+        src = torus8.node_id((1, 0))
+        dst = gen.destination(src)
+        assert torus8.coords(dst) == ((1 + 3) % 8, 0)
+
+    def test_complement(self, torus8):
+        gen = TrafficGenerator("complement", torus8, random.Random(1))
+        src = torus8.node_id((1, 2))
+        assert gen.destination(src) == torus8.node_id((6, 5))
+
+    def test_pattern_excludes_failed_partner(self, torus8):
+        gen = TrafficGenerator("transpose", torus8, random.Random(1))
+        partner = torus8.node_id((5, 2))
+        gen.set_healthy_nodes(
+            [n for n in range(64) if n != partner]
+        )
+        assert gen.destination(torus8.node_id((2, 5))) is None
+
+
+class TestValidation:
+    def test_unknown_pattern(self, torus8):
+        with pytest.raises(ValueError):
+            TrafficGenerator("zipf", torus8, random.Random(1))
+
+    def test_pattern_list_documented(self):
+        assert "uniform" in TrafficGenerator.PATTERNS

@@ -1,0 +1,41 @@
+"""The paper's deterministic-pattern validation battery must pass."""
+
+import pytest
+
+from repro.sim import validation
+
+
+class TestNearestNeighbor:
+    @pytest.mark.parametrize("flow", ["wr", "sr", "pcs"])
+    def test_zero_contention_latency(self, flow):
+        checks = validation.nearest_neighbor_latency(flow, k=6, length=6)
+        for check in checks:
+            assert check.passed, check
+
+
+class TestRingUtilization:
+    def test_per_channel_crossings_exact(self):
+        checks = validation.ring_utilization(distance=3, k=6, length=4)
+        for check in checks:
+            assert check.passed, check
+
+    def test_other_distance(self):
+        checks = validation.ring_utilization(distance=2, k=8, length=3)
+        for check in checks:
+            assert check.passed, check
+
+
+class TestBattery:
+    def test_full_battery_renders(self):
+        checks = validation.validate()
+        text = validation.render(checks)
+        assert "0 failures" in text
+        assert all(c.passed for c in checks)
+
+    def test_check_tolerance_logic(self):
+        exact = validation.ValidationCheck("x", 10, 10, 0)
+        assert exact.passed
+        off = validation.ValidationCheck("x", 10, 11, 0)
+        assert not off.passed
+        close = validation.ValidationCheck("x", 10, 10.5, 0.1)
+        assert close.passed

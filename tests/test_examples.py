@@ -1,0 +1,46 @@
+"""The shipped examples must stay runnable (fast ones run in-suite)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+#: Examples fast enough for the regular test run; protocol_faceoff
+#: sweeps many load points and is exercised by the benchmarks instead.
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "flow_control_comparison.py",
+    "fault_tolerant_routing.py",
+    "dynamic_fault_recovery.py",
+    "time_space_diagram.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip(), "examples must print their findings"
+
+
+def test_all_examples_present():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert set(FAST_EXAMPLES) <= names
+    assert "protocol_faceoff.py" in names
+    assert len(names) >= 6
+
+
+def test_examples_have_docstrings():
+    for path in EXAMPLES.glob("*.py"):
+        text = path.read_text()
+        assert '"""' in text.split("\n", 3)[-1] or text.startswith(
+            ('#!/usr/bin/env python\n"""', '"""')
+        ), f"{path.name} lacks a module docstring"
