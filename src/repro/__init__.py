@@ -14,7 +14,14 @@ from repro.faults.model import FaultState
 from repro.network.topology import KAryNCube
 from repro.routing.duato import DuatoProtocol
 from repro.routing.mb import MBmProtocol
-from repro.sim.config import FaultConfig, RecoveryConfig, SimulationConfig
+from repro.faults.chaos import ChaosCampaignResult, ChaosSpec, run_campaign
+from repro.sim.config import (
+    FaultConfig,
+    RecoveryConfig,
+    ResilienceConfig,
+    SimulationConfig,
+)
+from repro.sim.invariants import InvariantError, InvariantViolation
 from repro.sim.simulator import NetworkSimulator, make_protocol, run_config
 from repro.sim.stats import RunResult, repeat_until_confident
 from repro.sim.trace import MessageTracer, trace_single_message
@@ -22,9 +29,13 @@ from repro.sim.trace import MessageTracer, trace_single_message
 __version__ = "1.0.0"
 
 __all__ = [
+    "ChaosCampaignResult",
+    "ChaosSpec",
     "DuatoProtocol",
     "FaultConfig",
     "FaultState",
+    "InvariantError",
+    "InvariantViolation",
     "FlowControlConfig",
     "FlowControlKind",
     "KAryNCube",
@@ -32,11 +43,13 @@ __all__ = [
     "MessageTracer",
     "NetworkSimulator",
     "RecoveryConfig",
+    "ResilienceConfig",
     "RunResult",
     "SimulationConfig",
     "TwoPhaseProtocol",
     "make_protocol",
     "repeat_until_confident",
+    "run_campaign",
     "run_config",
     "trace_single_message",
     "__version__",

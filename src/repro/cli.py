@@ -6,7 +6,9 @@ Subcommands:
   latency/throughput summary;
 * ``figure`` — regenerate one of the paper's figures (12, 13, 14, 15,
   17, ``formulas``, ``theorems``, ``ablation``);
-* ``sweep`` — a latency-throughput load sweep for one protocol.
+* ``sweep`` — a latency-throughput load sweep for one protocol;
+* ``chaos`` — a randomized fault-storm campaign with the invariant
+  auditor and deadlock-recovery watchdog armed.
 
 Examples::
 
@@ -14,6 +16,7 @@ Examples::
     repro-sim figure 12
     REPRO_PAPER_SCALE=1 repro-sim figure 13
     repro-sim sweep --protocol mb --loads 0.05,0.1,0.2
+    repro-sim chaos --seeds 20 --protocols tp,dp
 """
 
 from __future__ import annotations
@@ -138,6 +141,35 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import SCENARIOS, ChaosSpec, run_campaign
+    from repro.sim.simulator import PROTOCOLS
+
+    protocols = tuple(args.protocols.split(","))
+    known = sorted(set(PROTOCOLS) | set(SCENARIOS))
+    for name in protocols:
+        if name not in PROTOCOLS and name not in SCENARIOS:
+            print(
+                f"unknown protocol {name!r}; choose from {known}",
+                file=sys.stderr,
+            )
+            return 2
+    spec = ChaosSpec(
+        seeds=tuple(range(args.seeds)),
+        protocols=protocols,
+        k=args.k,
+        n=args.n,
+        offered_load=args.load,
+        bursts=args.bursts,
+        burst_size=args.burst_size,
+        node_fault_fraction=args.node_fault_fraction,
+        watchdog_cycles=args.watchdog,
+    )
+    result = run_campaign(spec)
+    print(result.render())
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sim",
@@ -185,6 +217,31 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--faults", type=int, default=0)
     sweep_p.add_argument("--k-unsafe", type=int, default=0)
     sweep_p.set_defaults(func=_cmd_sweep)
+
+    chaos_p = sub.add_parser(
+        "chaos", help="randomized fault-storm resilience campaign"
+    )
+    chaos_p.add_argument("--seeds", type=int, default=20,
+                         help="number of seeds per protocol")
+    chaos_p.add_argument(
+        "--protocols", default="tp,dp,det-naive",
+        help=(
+            "comma-separated protocol names; 'det-naive' is the "
+            "deadlock-prone gridlock scenario"
+        ),
+    )
+    chaos_p.add_argument("--k", type=int, default=6)
+    chaos_p.add_argument("--n", type=int, default=2)
+    chaos_p.add_argument("--load", type=float, default=0.08)
+    chaos_p.add_argument("--bursts", type=int, default=3,
+                         help="fault bursts per run")
+    chaos_p.add_argument("--burst-size", type=int, default=2,
+                         help="faults per burst")
+    chaos_p.add_argument("--node-fault-fraction", type=float, default=0.25,
+                         help="fraction of faults that kill whole nodes")
+    chaos_p.add_argument("--watchdog", type=int, default=120,
+                         help="watchdog window in cycles")
+    chaos_p.set_defaults(func=_cmd_chaos)
     return parser
 
 

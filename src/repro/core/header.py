@@ -65,9 +65,12 @@ class Header:
             off -= k
         elif off < -half:
             off += k
-        elif off == -half and k % 2 == 0 and direction == -1:
+        elif off == -half and k % 2 == 0:
             # Canonical form prefers the positive representation of an
-            # exact half-way offset (matches KAryNCube.offset).
+            # exact half-way offset (matches KAryNCube.offset).  The
+            # negative alias arises when a hop moves *away* from the
+            # destination into the half-way tie (e.g. offset -2 in a
+            # 6-ring, misrouted in the + direction).
             off = half
         self.offsets[dim] = off
 

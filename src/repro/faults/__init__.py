@@ -1,4 +1,11 @@
-"""Fault model, fault injection, and recovery mechanisms."""
+"""Fault model, fault injection, chaos storms, and recovery mechanisms.
+
+The chaos harness (:mod:`repro.faults.chaos`) imports the simulator
+facade and is therefore *not* re-exported here — importing it from this
+package ``__init__`` would create a cycle through the routing
+protocols.  Import it as ``from repro.faults import chaos`` or from the
+top-level :mod:`repro` package.
+"""
 
 from repro.faults.injection import (
     DynamicFaultSchedule,

@@ -1,0 +1,368 @@
+"""Chaos fault-storm harness (the resilience layer's adversary).
+
+Randomized campaigns that inject *bursts* of node/link faults at
+adversarial moments — while a message is mid-path-setup, while a header
+is backtracking, while a kill-flit teardown is already in flight —
+across many seeds and protocols, with the runtime invariant auditor
+(:mod:`repro.sim.invariants`) enabled and the deadlock-recovery
+watchdog (:mod:`repro.sim.postmortem`) armed.
+
+Unlike the paper-faithful :func:`~repro.faults.injection.random_dynamic_schedule`
+(faults at uniformly random cycles), the chaos controller watches live
+engine state through the :meth:`NetworkSimulator.run` per-cycle hook
+and schedules each fault exactly when a message is in the targeted
+vulnerable phase, on a channel that message is actually holding.  Every
+run must end with the network drained or every message accounted for —
+this harness is the regression gate that makes aggressive engine
+changes safe to land.
+
+CLI: ``repro-sim chaos --seeds 20 --protocols tp,dp,det-naive``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.faults.injection import DynamicFaultSchedule, FaultEvent
+from repro.sim.config import ResilienceConfig, SimulationConfig
+from repro.sim.engine import DeadlockError
+from repro.sim.invariants import InvariantError
+from repro.sim.message import HeaderPhase, Message
+from repro.sim.simulator import NetworkSimulator
+
+#: Vulnerable message phases the controller aims its bursts at.
+TRIGGERS = ("setup", "backtrack", "teardown")
+
+#: Pseudo-protocols resolving to a real protocol plus parameters.  The
+#: fault-tolerant protocols (TP, DP) are deadlock-free by construction,
+#: so their fault-storm runs prove the *absence* of stalls; the
+#: ``det-naive`` gridlock scenario (dimension-order without dateline
+#: classes — the textbook torus wormhole deadlock) proves the watchdog
+#: diagnoses and recovers *real* cyclic deadlocks when they do happen.
+SCENARIOS = {"det-naive": ("det", {"dateline": False})}
+
+
+@dataclass
+class ChaosSpec:
+    """Parameters of one chaos campaign."""
+
+    seeds: Sequence[int] = tuple(range(20))
+    protocols: Sequence[str] = ("tp", "dp", "det-naive")
+    k: int = 6
+    n: int = 2
+    offered_load: float = 0.08
+    message_length: int = 8
+    warmup_cycles: int = 200
+    measure_cycles: int = 1000
+    drain_cycles: int = 30_000
+    #: Fault bursts per run, spread across the measurement window.
+    bursts: int = 3
+    #: Faults per burst.
+    burst_size: int = 2
+    #: Fraction of burst faults that kill the node at the downstream
+    #: end of the targeted channel instead of the link itself.
+    node_fault_fraction: float = 0.25
+    #: Short watchdog so stalls are diagnosed and recovered quickly.
+    watchdog_cycles: int = 120
+    #: Keep the per-header wait escape far beyond the watchdog so the
+    #: diagnosis/victim-ejection path is the mechanism under test.
+    max_header_wait: int = 6000
+    audit_every: int = 20
+    max_deadlock_recoveries: int = 512
+    #: Extra cycles after the drain for residual teardown tokens.
+    settle_cycles: int = 200
+    #: Load/length overrides for the ``det-naive`` gridlock scenario —
+    #: high enough that cyclic wait genuinely forms around the rings.
+    gridlock_load: float = 0.30
+    gridlock_message_length: int = 16
+
+
+class ChaosController:
+    """Per-cycle hook that fires fault bursts at adversarial moments.
+
+    Faults are scheduled through the engine's
+    :class:`DynamicFaultSchedule` (never applied behind its back), so
+    the engine's dynamic-fault phase performs the proper circuit
+    interruption and kill-flit recovery for every injected fault.
+    """
+
+    def __init__(self, schedule: DynamicFaultSchedule, rng: random.Random,
+                 burst_cycles: Sequence[int], burst_size: int,
+                 node_fault_fraction: float, patience: int = 100):
+        self.schedule = schedule
+        self.rng = rng
+        self.burst_cycles = list(burst_cycles)
+        self.burst_size = burst_size
+        self.node_fault_fraction = node_fault_fraction
+        #: Cycles to wait past the due cycle for a vulnerable message
+        #: before falling back to a random healthy link.
+        self.patience = patience
+        self.faults_injected = 0
+        self.triggers_hit: List[str] = []
+        self._next = 0
+
+    def __call__(self, engine) -> None:
+        if self._next >= len(self.burst_cycles):
+            return
+        due = self.burst_cycles[self._next]
+        if engine.cycle < due:
+            return
+        preferred = TRIGGERS[self._next % len(TRIGGERS)]
+        trigger, targets = self._find_targets(engine, preferred)
+        if not targets and engine.cycle < due + self.patience:
+            return  # hold the burst until someone is vulnerable
+        self._fire(engine, trigger, targets)
+        self._next += 1
+
+    # ------------------------------------------------------------------
+    def _find_targets(
+        self, engine, preferred: str
+    ) -> Tuple[str, List[Tuple[Message, List[int]]]]:
+        order = [preferred] + [t for t in TRIGGERS if t != preferred]
+        for trigger in order:
+            targets = self._collect(engine, trigger)
+            if targets:
+                return trigger, targets
+        return "random", []
+
+    @staticmethod
+    def _matches(msg: Message, trigger: str) -> bool:
+        if trigger == "setup":
+            return not msg.teardown and msg.header_phase in (
+                HeaderPhase.PENDING, HeaderPhase.IN_FLIGHT
+            )
+        if trigger == "backtrack":
+            return not msg.teardown and (
+                msg.backtrack_lock >= 0 or msg.header.backtrack
+            )
+        return msg.teardown  # "teardown": kill flits already traveling
+
+    def _collect(
+        self, engine, trigger: str
+    ) -> List[Tuple[Message, List[int]]]:
+        targets = []
+        for msg in engine.active.values():
+            if not msg.path or not self._matches(msg, trigger):
+                continue
+            links = [
+                i for i in range(len(msg.path))
+                if not msg.released[i]
+                and not engine.faults.channel_faulty[msg.path[i].channel_id]
+            ]
+            if links:
+                targets.append((msg, links))
+        return targets
+
+    def _fire(self, engine, trigger: str,
+              targets: List[Tuple[Message, List[int]]]) -> None:
+        self.triggers_hit.append(trigger)
+        chosen = set()
+        for _ in range(self.burst_size):
+            ch = self._pick_channel(engine, targets, chosen)
+            if ch is None:
+                return
+            chosen.add(ch)
+            if self.rng.random() < self.node_fault_fraction:
+                node = engine.topology.channel(ch).dst
+                if engine.faults.is_node_faulty(node):
+                    continue
+                event = FaultEvent(
+                    cycle=engine.cycle + 1, kind="node", target=node
+                )
+            else:
+                event = FaultEvent(
+                    cycle=engine.cycle + 1, kind="link", target=ch
+                )
+            self.schedule.events.append(event)
+            self.faults_injected += 1
+
+    def _pick_channel(self, engine, targets, chosen) -> Optional[int]:
+        if targets:
+            msg, links = self.rng.choice(targets)
+            fresh = [
+                i for i in links
+                if msg.path[i].channel_id not in chosen
+            ]
+            if fresh:
+                return msg.path[self.rng.choice(fresh)].channel_id
+        healthy = [
+            c for c in range(engine.topology.num_channels)
+            if not engine.faults.channel_faulty[c] and c not in chosen
+        ]
+        return self.rng.choice(healthy) if healthy else None
+
+
+@dataclass
+class ChaosRunRecord:
+    """Outcome of one chaos run."""
+
+    seed: int
+    protocol: str
+    faults_injected: int
+    triggers_hit: List[str]
+    recoveries: int
+    victims: List[int]
+    teardown_counts: dict
+    delivered: int
+    dropped: int
+    killed: int
+    invariant_checks: int
+    invariant_violations: int
+    drained: bool
+    accounted: bool
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Survived: no unhandled error, clean audits, nothing leaked."""
+        return (
+            self.error is None
+            and self.invariant_violations == 0
+            and (self.drained or self.accounted)
+        )
+
+
+@dataclass
+class ChaosCampaignResult:
+    """Aggregate verdict of a chaos campaign."""
+
+    spec: ChaosSpec
+    runs: List[ChaosRunRecord] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.runs) and all(r.ok for r in self.runs)
+
+    @property
+    def total_recoveries(self) -> int:
+        return sum(r.recoveries for r in self.runs)
+
+    @property
+    def total_faults(self) -> int:
+        return sum(r.faults_injected for r in self.runs)
+
+    @property
+    def failures(self) -> List[ChaosRunRecord]:
+        return [r for r in self.runs if not r.ok]
+
+    def render(self) -> str:
+        header = (
+            f"{'seed':>5} {'proto':>9} {'faults':>6} {'recov':>5} "
+            f"{'deliv':>5} {'drop':>4} {'kill':>4} {'audits':>6} "
+            f"{'drained':>7}  status"
+        )
+        lines = [header, "-" * len(header)]
+        for r in self.runs:
+            status = "ok" if r.ok else (r.error or "LEAKED")
+            lines.append(
+                f"{r.seed:>5} {r.protocol:>9} {r.faults_injected:>6} "
+                f"{r.recoveries:>5} {r.delivered:>5} {r.dropped:>4} "
+                f"{r.killed:>4} {r.invariant_checks:>6} "
+                f"{str(r.drained):>7}  {status}"
+            )
+        lines.append("-" * len(header))
+        verdict = "PASS" if self.ok else "FAIL"
+        lines.append(
+            f"{verdict}: {len(self.runs)} runs, {self.total_faults} faults "
+            f"injected, {self.total_recoveries} deadlock recoveries, "
+            f"{len(self.failures)} failures"
+        )
+        return "\n".join(lines)
+
+
+def burst_schedule(spec: ChaosSpec) -> List[int]:
+    """Burst due-cycles spread evenly across the measurement window."""
+    window = spec.measure_cycles
+    return [
+        spec.warmup_cycles + (i + 1) * window // (spec.bursts + 1)
+        for i in range(spec.bursts)
+    ]
+
+
+def run_one(spec: ChaosSpec, seed: int, protocol: str) -> ChaosRunRecord:
+    """One chaos run: build, storm, drain, audit, account."""
+    real_protocol, params = SCENARIOS.get(protocol, (protocol, {}))
+    gridlock = protocol in SCENARIOS
+    cfg = SimulationConfig(
+        k=spec.k, n=spec.n, protocol=real_protocol,
+        protocol_params=dict(params),
+        offered_load=spec.gridlock_load if gridlock else spec.offered_load,
+        message_length=(
+            spec.gridlock_message_length if gridlock
+            else spec.message_length
+        ),
+        warmup_cycles=spec.warmup_cycles,
+        measure_cycles=spec.measure_cycles,
+        drain_cycles=spec.drain_cycles,
+        seed=seed,
+        watchdog_cycles=spec.watchdog_cycles,
+        max_header_wait=spec.max_header_wait,
+        resilience=ResilienceConfig(
+            audit_invariants=True,
+            audit_every=spec.audit_every,
+            max_deadlock_recoveries=spec.max_deadlock_recoveries,
+        ),
+    )
+    sim = NetworkSimulator(cfg)
+    engine = sim.engine
+    if engine.dynamic_schedule is None:
+        engine.dynamic_schedule = DynamicFaultSchedule()
+    controller = ChaosController(
+        engine.dynamic_schedule,
+        random.Random((seed + 1) * 7919),
+        burst_schedule(spec),
+        spec.burst_size,
+        spec.node_fault_fraction,
+    )
+    error: Optional[str] = None
+    try:
+        sim.run(on_cycle=controller)
+        for _ in range(spec.settle_cycles):
+            if engine.network_drained():
+                break
+            engine.step()
+    except DeadlockError as exc:
+        error = f"DeadlockError: {exc}"
+    except InvariantError as exc:
+        error = f"InvariantError: {exc}"
+
+    if error is None:
+        engine.auditor.audit()  # final audit; folds into violations_found
+    records = [r for r in engine.records if not r.superseded]
+    statuses = [r.status for r in records]
+    accounted = (
+        not engine.active
+        and not any(engine.queues)
+        and len(records) == engine.accepted_messages
+    )
+    return ChaosRunRecord(
+        seed=seed,
+        protocol=protocol,
+        faults_injected=controller.faults_injected,
+        triggers_hit=controller.triggers_hit,
+        recoveries=engine.deadlock_recoveries,
+        victims=list(engine.deadlock_victims),
+        teardown_counts=dict(engine.teardown_counts),
+        delivered=statuses.count("DELIVERED"),
+        dropped=statuses.count("DROPPED"),
+        killed=statuses.count("KILLED"),
+        invariant_checks=(
+            engine.auditor.checks_run if engine.auditor else 0
+        ),
+        invariant_violations=engine.auditor.violations_found,
+        drained=engine.network_drained(),
+        accounted=accounted,
+        error=error,
+    )
+
+
+def run_campaign(spec: Optional[ChaosSpec] = None) -> ChaosCampaignResult:
+    """The full campaign: every seed crossed with every protocol."""
+    spec = spec if spec is not None else ChaosSpec()
+    result = ChaosCampaignResult(spec=spec)
+    for protocol in spec.protocols:
+        for seed in spec.seeds:
+            result.runs.append(run_one(spec, seed, protocol))
+    return result

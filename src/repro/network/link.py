@@ -52,6 +52,10 @@ class ControlQueue(Generic[T]):
     def __bool__(self) -> bool:
         return bool(self._queue)
 
+    def __iter__(self):
+        """Iterate queued tokens without consuming them (auditing)."""
+        return iter(self._queue)
+
     def peek(self) -> Optional[T]:
         return self._queue[0] if self._queue else None
 

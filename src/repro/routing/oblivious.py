@@ -14,11 +14,20 @@ the channel is busy, and can be configured as
 
 It performs no misrouting or backtracking: a faulty channel on the
 dimension-order path makes the message undeliverable.
+
+With ``dateline=False`` the dateline classing is deliberately
+disabled (every hop uses class 0), reproducing naive wormhole routing
+on a torus — the textbook configuration whose ring wrap-around closes
+a cyclic channel dependency and genuinely deadlocks under load.  The
+resilience layer's chaos harness uses it to exercise the watchdog's
+wait-for-graph diagnosis and victim-ejection recovery against *real*
+cyclic deadlocks rather than simulated stalls.
 """
 
 from __future__ import annotations
 
 from repro.core.flow_control import FlowControlConfig, FlowControlKind
+from repro.network.channel import VCClass
 from repro.routing.base import WAIT, Action, Decision, RoutingContext
 from repro.routing.dimension_order import deterministic_route
 from repro.sim.message import Message
@@ -29,7 +38,8 @@ class DimensionOrderProtocol:
 
     name = "det"
 
-    def __init__(self, flow: str = "wr", k: int = 3):
+    def __init__(self, flow: str = "wr", k: int = 3, dateline: bool = True):
+        self.dateline = dateline
         if flow == "wr":
             self.flow_control = FlowControlConfig.wormhole()
             self.inline_header = True
@@ -54,6 +64,8 @@ class DimensionOrderProtocol:
         det = deterministic_route(ctx.topology, node, message.dst)
         assert det is not None, "decide() must not be called at destination"
         dim, direction, vclass = det
+        if not self.dateline:
+            vclass = VCClass.DETERMINISTIC_0  # naive: cycle NOT broken
         ch = ctx.topology.channel_id(node, dim, direction)
         if ctx.faults.channel_faulty[ch]:
             return Decision(

@@ -8,8 +8,19 @@ import cycle.  Import them from the top-level :mod:`repro` package or
 from their concrete modules.
 """
 
-from repro.sim.config import FaultConfig, RecoveryConfig, SimulationConfig
+from repro.sim.config import (
+    FaultConfig,
+    RecoveryConfig,
+    ResilienceConfig,
+    SimulationConfig,
+)
+from repro.sim.invariants import (
+    InvariantAuditor,
+    InvariantError,
+    InvariantViolation,
+)
 from repro.sim.message import ControlKind, Message, MessageStatus
+from repro.sim.postmortem import DeadlockDiagnosis, WaitEdge, diagnose
 from repro.sim.stats import (
     MessageRecord,
     ReplicatedResult,
@@ -22,15 +33,22 @@ from repro.sim.traffic import TrafficGenerator
 
 __all__ = [
     "ControlKind",
+    "DeadlockDiagnosis",
     "FaultConfig",
+    "InvariantAuditor",
+    "InvariantError",
+    "InvariantViolation",
     "Message",
     "MessageRecord",
     "MessageStatus",
     "RecoveryConfig",
     "ReplicatedResult",
+    "ResilienceConfig",
     "RunResult",
     "SimulationConfig",
     "TrafficGenerator",
+    "WaitEdge",
+    "diagnose",
     "mean_confidence_interval",
     "repeat_until_confident",
     "summarize",

@@ -52,6 +52,37 @@ class RecoveryConfig:
 
 
 @dataclass
+class ResilienceConfig:
+    """Deadlock diagnosis/recovery and runtime auditing knobs.
+
+    On watchdog expiry the engine builds the message wait-for graph
+    (:mod:`repro.sim.postmortem`), then — unless ``deadlock_strict`` —
+    ejects a victim message through the kill-flit teardown path so the
+    network resumes.  The invariant auditor
+    (:mod:`repro.sim.invariants`) cross-checks flit conservation, VC
+    state legality, buffer bounds, and reservation ownership every
+    ``audit_every`` cycles when enabled.
+    """
+
+    #: Raise :class:`~repro.sim.engine.DeadlockError` (with the rendered
+    #: wait-for diagnosis) on watchdog expiry instead of recovering.
+    deadlock_strict: bool = False
+    #: Safety valve: give up (raise) after this many victim ejections
+    #: in one run — a network needing more is systemically wedged.
+    max_deadlock_recoveries: int = 256
+    #: Run the runtime invariant auditor during :meth:`Engine.step`.
+    audit_invariants: bool = False
+    #: Audit every N cycles (1 = every cycle; audits are O(network)).
+    audit_every: int = 64
+
+    def __post_init__(self) -> None:
+        if self.audit_every < 1:
+            raise ValueError("audit_every must be >= 1")
+        if self.max_deadlock_recoveries < 0:
+            raise ValueError("max_deadlock_recoveries must be >= 0")
+
+
+@dataclass
 class SimulationConfig:
     """Everything needed to build and run one simulation."""
 
@@ -106,6 +137,7 @@ class SimulationConfig:
 
     faults: FaultConfig = field(default_factory=FaultConfig)
     recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     def __post_init__(self) -> None:
         if self.message_length < 1:

@@ -46,7 +46,9 @@ from repro.network.channel import ChannelBank
 from repro.network.link import ControlQueue, RoundRobinArbiter
 from repro.network.topology import KAryNCube
 from repro.routing.base import Action, RoutingContext
+from repro.sim import postmortem
 from repro.sim.config import SimulationConfig
+from repro.sim.invariants import InvariantAuditor, InvariantError
 from repro.sim.message import (
     ControlFlit,
     ControlKind,
@@ -60,7 +62,17 @@ from repro.sim.traffic import TrafficGenerator
 
 
 class DeadlockError(RuntimeError):
-    """Raised when the network makes no progress for the watchdog window."""
+    """Raised when the network makes no progress for the watchdog window.
+
+    Carries the rendered wait-for-graph diagnosis
+    (:class:`~repro.sim.postmortem.DeadlockDiagnosis`) when the engine
+    could build one: strict mode always raises with it; lenient mode
+    raises only when victim ejection is impossible or exhausted.
+    """
+
+    def __init__(self, message: str, diagnosis=None):
+        super().__init__(message)
+        self.diagnosis = diagnosis
 
 
 class Engine:
@@ -142,6 +154,16 @@ class Engine:
         self.measured_accepted_flits = 0
         self.records: List[MessageRecord] = []
         self.drop_reasons: Dict[str, int] = {}
+        #: Per-reason teardown counts ("fault" / "abort" / "deadlock").
+        self.teardown_counts: Dict[str, int] = {}
+        #: Watchdog expiries resolved by victim ejection.
+        self.deadlock_recoveries = 0
+        #: Message ids ejected by deadlock recovery, in order.
+        self.deadlock_victims: List[int] = []
+        self.auditor: Optional[InvariantAuditor] = (
+            InvariantAuditor(self)
+            if config.resilience.audit_invariants else None
+        )
 
         self.traffic_enabled = True
         self._measuring_from = config.warmup_cycles
@@ -202,13 +224,56 @@ class Engine:
         if self.active and not self._progress:
             self._idle_streak += 1
             if self._idle_streak > self.config.watchdog_cycles:
-                raise DeadlockError(
-                    f"no progress for {self._idle_streak} cycles at cycle "
-                    f"{self.cycle}; {len(self.active)} active messages "
-                    f"(e.g. {next(iter(self.active.values()))!r})"
-                )
+                self._on_watchdog_expiry()
         else:
             self._idle_streak = 0
+
+        if self.auditor is not None and (
+            self.cycle % self.config.resilience.audit_every == 0
+        ):
+            violations = self.auditor.audit()
+            if violations:
+                raise InvariantError(violations)
+
+    def _on_watchdog_expiry(self) -> None:
+        """Diagnose the stall; recover by victim ejection or raise.
+
+        The wait-for graph is built from live state
+        (:func:`repro.sim.postmortem.diagnose`).  In strict mode, or
+        when no eligible victim exists, or after
+        ``resilience.max_deadlock_recoveries`` ejections, the run fails
+        with the rendered diagnosis.  Otherwise the victim is driven
+        through the ordinary kill-flit teardown (Section 2.4) — its
+        virtual channels free, the network resumes, and the victim
+        retries from its source under the usual recovery bounds.
+        """
+        resilience = self.config.resilience
+        diagnosis = postmortem.diagnose(self)
+        summary = (
+            f"no progress for {self._idle_streak} cycles at cycle "
+            f"{self.cycle}; {len(self.active)} active messages"
+        )
+        if resilience.deadlock_strict:
+            raise DeadlockError(
+                f"{summary}\n{diagnosis.render()}", diagnosis
+            )
+        victim = postmortem.select_victim(diagnosis, self)
+        if victim is None:
+            raise DeadlockError(
+                f"{summary}; no recoverable victim\n{diagnosis.render()}",
+                diagnosis,
+            )
+        if self.deadlock_recoveries >= resilience.max_deadlock_recoveries:
+            raise DeadlockError(
+                f"{summary}; recovery budget "
+                f"({resilience.max_deadlock_recoveries}) exhausted\n"
+                f"{diagnosis.render()}",
+                diagnosis,
+            )
+        self.deadlock_recoveries += 1
+        self.deadlock_victims.append(victim.msg_id)
+        self._teardown(victim, "deadlock", victim.header_router)
+        self._idle_streak = 0
 
     def network_drained(self) -> bool:
         """All messages terminal and every virtual channel free."""
@@ -731,6 +796,9 @@ class Engine:
             return
         msg.teardown = True
         msg.teardown_reason = "fault"
+        self.teardown_counts["fault"] = (
+            self.teardown_counts.get("fault", 0) + 1
+        )
         msg.header_phase = HeaderPhase.GONE
         self.pending.pop(msg.msg_id, None)
         self._release_link(msg, fail_idx)
@@ -767,6 +835,9 @@ class Engine:
             return
         msg.teardown = True
         msg.teardown_reason = reason
+        self.teardown_counts[reason] = (
+            self.teardown_counts.get(reason, 0) + 1
+        )
         msg.header_phase = HeaderPhase.GONE
         self.pending.pop(msg.msg_id, None)
         self._progress = True

@@ -113,9 +113,21 @@ class NetworkSimulator:
             dynamic_schedule=schedule,
         )
 
-    def run(self) -> RunResult:
-        """Warmup + measurement, then drain, then summarize."""
-        self.engine.run(self.config.total_cycles)
+    def run(self, on_cycle=None) -> RunResult:
+        """Warmup + measurement, then drain, then summarize.
+
+        ``on_cycle(engine)``, when given, is invoked after every cycle
+        of the warmup+measurement phase (not the drain).  The chaos
+        harness uses it to watch live state and inject fault bursts at
+        adversarial moments; tracing and custom instrumentation fit the
+        same hook.
+        """
+        if on_cycle is None:
+            self.engine.run(self.config.total_cycles)
+        else:
+            for _ in range(self.config.total_cycles):
+                self.engine.step()
+                on_cycle(self.engine)
         if self.config.drain_cycles:
             self.engine.drain(self.config.drain_cycles)
         return self.results()

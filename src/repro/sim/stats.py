@@ -103,6 +103,14 @@ class RunResult:
     control_flits: int
     drop_reasons: dict = field(default_factory=dict)
     latencies: List[int] = field(default_factory=list)
+    #: Watchdog expiries resolved by deadlock-recovery victim ejection.
+    deadlock_recoveries: int = 0
+    #: Message ids ejected by deadlock recovery, in ejection order.
+    deadlock_victims: List[int] = field(default_factory=list)
+    #: Path teardowns by reason ("fault" / "abort" / "deadlock").
+    teardown_counts: dict = field(default_factory=dict)
+    #: Invariant audits run during the simulation (0 = auditor off).
+    invariant_checks: int = 0
 
     @property
     def delivery_ratio(self) -> float:
@@ -159,6 +167,12 @@ def summarize(engine, warmup: int) -> RunResult:
         control_flits=engine.control_flits_sent,
         drop_reasons=dict(engine.drop_reasons),
         latencies=latencies,
+        deadlock_recoveries=engine.deadlock_recoveries,
+        deadlock_victims=list(engine.deadlock_victims),
+        teardown_counts=dict(engine.teardown_counts),
+        invariant_checks=(
+            engine.auditor.checks_run if engine.auditor is not None else 0
+        ),
     )
 
 

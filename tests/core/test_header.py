@@ -49,6 +49,14 @@ class TestHeaderState:
         h.apply_hop(0, -1, k=8)
         assert h.offsets == [-2, 0]
 
+    def test_misroute_into_half_way_tie_canonicalizes_positive(self):
+        # Moving *away* from the destination into the exact half-way
+        # offset must land on the positive alias, matching
+        # KAryNCube.offset (which prefers +k/2 on even-k ties).
+        h = Header(offsets=[-2, 0])
+        h.apply_hop(0, +1, k=6)
+        assert h.offsets == [3, 0]
+
     def test_backtrack_then_forward_restores(self):
         h = Header(offsets=[2, -1])
         h.apply_hop(1, -1, k=8)

@@ -120,3 +120,54 @@ class TestDynamicSchedule:
             random_dynamic_schedule(
                 torus8, 1, horizon=10, rng=random.Random(1), start_cycle=20
             )
+
+
+class TestPlacementRollback:
+    """Snapshot/restore rollback must equal a fresh rebuild exactly."""
+
+    @staticmethod
+    def _state_tuple(faults: FaultState):
+        return (
+            set(faults.faulty_nodes),
+            set(faults.faulty_links),
+            list(faults.channel_faulty),
+            list(faults.channel_unsafe),
+        )
+
+    def test_rejected_fail_restores_exact_state(self, torus8):
+        from repro.faults.injection import (
+            _restore_after_rejected_fail,
+            _snapshot_before_fail,
+        )
+
+        faults = FaultState(torus8)
+        kept = [0, 1, 9]
+        faults.fail_nodes(kept)
+        before = self._state_tuple(faults)
+        prior_last = list(faults.last_failed_channels)
+
+        candidate = 10  # adjacent to kept faults: shared links exist
+        snapshot = _snapshot_before_fail(faults, candidate)
+        faults.fail_node(candidate)
+        _restore_after_rejected_fail(faults, candidate, snapshot)
+
+        assert self._state_tuple(faults) == before
+        assert faults.last_failed_channels == prior_last
+
+        fresh = FaultState(torus8)
+        fresh.fail_nodes(kept)
+        assert self._state_tuple(faults) == self._state_tuple(fresh)
+
+    def test_dense_connected_placement_matches_fresh_rebuild(self, torus8):
+        # Heavy placement forces many connectivity rejections; the
+        # incremental rollbacks must leave exactly the state a fresh
+        # build from the accepted set produces.
+        faults = FaultState(torus8)
+        failed = place_random_node_faults(
+            faults, 20, random.Random(11), keep_connected=True
+        )
+        assert len(failed) == 20
+        assert faults.healthy_nodes_connected()
+        fresh = FaultState(torus8)
+        fresh.fail_nodes(failed)
+        assert self._state_tuple(faults) == self._state_tuple(fresh)

@@ -28,6 +28,10 @@ class StubEngine:
         self.source_retries = 2
         self.control_flits_sent = 77
         self.drop_reasons = {"x": 1}
+        self.deadlock_recoveries = 0
+        self.deadlock_victims = []
+        self.teardown_counts = {}
+        self.auditor = None
 
     def measure_window_cycles(self):
         return self._measure
