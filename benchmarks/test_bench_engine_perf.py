@@ -1,0 +1,92 @@
+"""P1 — engine performance: simulated cycles per second over a matrix.
+
+Times single simulation runs (no replication) across a small
+protocol / load / fault grid and records wall-clock time plus simulated
+cycles per second in ``BENCH_engine.json`` at the repository root,
+which CI uploads as an informational artifact.  The numbers track the
+engine's hot-path cost; they gate nothing (they are machine-dependent),
+but the JSON history makes slowdowns visible next to the functional
+figure benchmarks.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.experiments.common import base_config, experiment_scale
+from repro.sim.config import FaultConfig
+from repro.sim.simulator import NetworkSimulator
+
+from .conftest import run_and_report
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_engine.json"
+
+#: (name, protocol, params, offered load, dynamic faults) — low and
+#: near-saturation load for the paper's default protocol, a
+#: dynamic-fault storm, and the two comparison protocols.
+WORKLOADS = (
+    ("tp-low", "tp", {"k_unsafe": 0}, 0.10, 0),
+    ("tp-high", "tp", {"k_unsafe": 0}, 0.28, 0),
+    ("tp-dynamic-faults", "tp", {"k_unsafe": 0}, 0.10, 2),
+    ("dp-low", "dp", {}, 0.10, 0),
+    ("mb-low", "mb", {}, 0.10, 0),
+)
+
+
+def run_matrix():
+    scale = experiment_scale()
+    rows = []
+    for name, protocol, params, load, dynamic in WORKLOADS:
+        cfg = base_config(scale, protocol, params,
+                          offered_load=load, seed=42)
+        if dynamic:
+            cfg = cfg.with_(faults=FaultConfig(
+                dynamic_faults=dynamic, dynamic_start=scale.warmup,
+            ))
+        sim = NetworkSimulator(cfg)
+        start = time.perf_counter()
+        result = sim.run()
+        wall = time.perf_counter() - start
+        rows.append({
+            "workload": name,
+            "protocol": protocol,
+            "offered_load": load,
+            "dynamic_faults": dynamic,
+            "cycles": result.cycles,
+            "wall_s": round(wall, 4),
+            "cycles_per_sec": round(result.cycles / wall, 1),
+            "delivered": result.delivered,
+            "drained": result.drained,
+        })
+    return {
+        "scale": scale.name,
+        "k": scale.k,
+        "n": scale.n,
+        "workloads": rows,
+    }
+
+
+def render(report):
+    title = (
+        f"engine perf ({report['scale']} scale, "
+        f"{report['k']}-ary {report['n']}-cube)"
+    )
+    header = f"{'workload':<20} {'cycles':>8} {'wall_s':>8} {'cyc/s':>10}"
+    lines = [title, header, "-" * len(header)]
+    for row in report["workloads"]:
+        lines.append(
+            f"{row['workload']:<20} {row['cycles']:>8} "
+            f"{row['wall_s']:>8.3f} {row['cycles_per_sec']:>10,.0f}"
+        )
+    return "\n".join(lines)
+
+
+def test_bench_engine_perf(benchmark):
+    report = run_and_report(benchmark, run_matrix, render,
+                            name="engine_perf")
+    BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
+    for row in report["workloads"]:
+        assert row["cycles"] > 0
+        assert row["cycles_per_sec"] > 0
+        assert row["delivered"] > 0

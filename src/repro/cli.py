@@ -16,7 +16,13 @@ Examples::
     repro-sim figure 12
     REPRO_PAPER_SCALE=1 repro-sim figure 13
     repro-sim sweep --protocol mb --loads 0.05,0.1,0.2
+    repro-sim sweep --protocol tp --jobs 4
     repro-sim chaos --seeds 20 --protocols tp,dp
+    REPRO_JOBS=8 repro-sim chaos --seeds 40
+
+``--jobs N`` (or ``REPRO_JOBS=N``) fans replications / campaign runs
+out over N worker processes; aggregation order is deterministic, so
+the output is identical to a serial run.
 """
 
 from __future__ import annotations
@@ -136,6 +142,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         params,
         loads=loads,
         static_faults=args.faults,
+        jobs=args.jobs,
     )
     print(render_series_table([series], title=f"sweep: {args.protocol}"))
     return 0
@@ -165,7 +172,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         node_fault_fraction=args.node_fault_fraction,
         watchdog_cycles=args.watchdog,
     )
-    result = run_campaign(spec)
+    result = run_campaign(spec, jobs=args.jobs)
     print(result.render())
     return 0 if result.ok else 1
 
@@ -216,6 +223,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--loads", default="0.05,0.1,0.2,0.3")
     sweep_p.add_argument("--faults", type=int, default=0)
     sweep_p.add_argument("--k-unsafe", type=int, default=0)
+    sweep_p.add_argument(
+        "--jobs", type=int, default=None,
+        help=(
+            "worker processes for replications (default: REPRO_JOBS "
+            "env var, else serial); results are identical to a "
+            "serial run"
+        ),
+    )
     sweep_p.set_defaults(func=_cmd_sweep)
 
     chaos_p = sub.add_parser(
@@ -241,6 +256,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fraction of faults that kill whole nodes")
     chaos_p.add_argument("--watchdog", type=int, default=120,
                          help="watchdog window in cycles")
+    chaos_p.add_argument(
+        "--jobs", type=int, default=None,
+        help=(
+            "worker processes for the (protocol, seed) grid (default: "
+            "REPRO_JOBS env var, else serial)"
+        ),
+    )
     chaos_p.set_defaults(func=_cmd_chaos)
     return parser
 

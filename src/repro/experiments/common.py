@@ -20,10 +20,12 @@ from __future__ import annotations
 
 import math
 import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.sim.config import FaultConfig, RecoveryConfig, SimulationConfig
+from repro.sim.parallel import replicate_parallel, resolve_jobs
 from repro.sim.simulator import NetworkSimulator
 from repro.sim.stats import (
     ReplicatedResult,
@@ -184,9 +186,21 @@ def run_point(
     base_seed: int = 1,
     target_ci: float = 0.05,
     hardware_acks: bool = False,
+    jobs: Optional[int] = None,
 ) -> ReplicatedResult:
-    """One experiment point, replicated per the paper's CI rule."""
-    def run_one(seed: int):
+    """One experiment point, replicated per the paper's CI rule.
+
+    ``jobs`` (default: the ``REPRO_JOBS`` environment variable, else
+    serial) fans the replications out over a process pool; the
+    truncation rule in :mod:`repro.sim.parallel` guarantees the same
+    :class:`ReplicatedResult` as the serial path.
+
+    Replications whose network failed to drain contribute truncated
+    latency samples; they are counted and warned about, and the point
+    fails outright (``RuntimeError``) when *every* replication is
+    undrained — such a point would be pure noise.
+    """
+    def make_cfg(seed: int) -> SimulationConfig:
         cfg = base_config(
             scale, protocol, protocol_params,
             offered_load=offered_load,
@@ -202,15 +216,44 @@ def run_point(
         cfg = cfg.with_(faults=fault_cfg)
         if recovery is not None:
             cfg = cfg.with_(recovery=recovery)
-        return NetworkSimulator(cfg).run()
+        return cfg
 
-    return repeat_until_confident(
-        run_one,
-        min_runs=scale.replications,
-        max_runs=scale.max_replications,
-        target_relative_ci=target_ci,
-        base_seed=base_seed,
-    )
+    if resolve_jobs(jobs) > 1:
+        rep = replicate_parallel(
+            make_cfg,
+            min_runs=scale.replications,
+            max_runs=scale.max_replications,
+            target_relative_ci=target_ci,
+            base_seed=base_seed,
+            jobs=jobs,
+        )
+    else:
+        rep = repeat_until_confident(
+            lambda seed: NetworkSimulator(make_cfg(seed)).run(),
+            min_runs=scale.replications,
+            max_runs=scale.max_replications,
+            target_relative_ci=target_ci,
+            base_seed=base_seed,
+        )
+
+    undrained = rep.undrained_runs
+    if undrained == len(rep.runs):
+        raise RuntimeError(
+            f"experiment point (protocol={protocol!r}, "
+            f"load={offered_load}) never drained in any of "
+            f"{len(rep.runs)} replications; its latency samples are "
+            "truncated — increase drain_cycles or lower the load"
+        )
+    if undrained:
+        warnings.warn(
+            f"experiment point (protocol={protocol!r}, "
+            f"load={offered_load}): {undrained}/{len(rep.runs)} "
+            "replications did not drain; latency samples from those "
+            "runs are truncated",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return rep
 
 
 def sweep_loads(
@@ -220,6 +263,7 @@ def sweep_loads(
     protocol_params: Optional[dict] = None,
     loads: Sequence[float] = DEFAULT_LOADS,
     base_seed: int = 1,
+    jobs: Optional[int] = None,
     **point_kwargs,
 ) -> Series:
     """A latency-throughput curve: one point per offered load."""
@@ -227,7 +271,7 @@ def sweep_loads(
     for i, load in enumerate(loads):
         rep = run_point(
             scale, protocol, protocol_params, load,
-            base_seed=base_seed + 100 * i, **point_kwargs,
+            base_seed=base_seed + 100 * i, jobs=jobs, **point_kwargs,
         )
         series.points.append(
             Point(

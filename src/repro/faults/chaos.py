@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from multiprocessing import Pool
 from typing import List, Optional, Sequence, Tuple
 
 from repro.faults.injection import DynamicFaultSchedule, FaultEvent
@@ -30,6 +31,7 @@ from repro.sim.config import ResilienceConfig, SimulationConfig
 from repro.sim.engine import DeadlockError
 from repro.sim.invariants import InvariantError
 from repro.sim.message import HeaderPhase, Message
+from repro.sim.parallel import resolve_jobs
 from repro.sim.simulator import NetworkSimulator
 
 #: Vulnerable message phases the controller aims its bursts at.
@@ -358,11 +360,29 @@ def run_one(spec: ChaosSpec, seed: int, protocol: str) -> ChaosRunRecord:
     )
 
 
-def run_campaign(spec: Optional[ChaosSpec] = None) -> ChaosCampaignResult:
-    """The full campaign: every seed crossed with every protocol."""
+def run_campaign(
+    spec: Optional[ChaosSpec] = None,
+    jobs: Optional[int] = None,
+) -> ChaosCampaignResult:
+    """The full campaign: every seed crossed with every protocol.
+
+    Each (protocol, seed) run is an independent simulation, so with
+    ``jobs > 1`` (or ``REPRO_JOBS``) the grid fans out over a process
+    pool.  Results are collected in submission order — the same
+    protocol-major, seed-minor order as the serial loop — so the
+    campaign record list is identical either way.
+    """
     spec = spec if spec is not None else ChaosSpec()
+    tasks = [
+        (spec, seed, protocol)
+        for protocol in spec.protocols
+        for seed in spec.seeds
+    ]
     result = ChaosCampaignResult(spec=spec)
-    for protocol in spec.protocols:
-        for seed in spec.seeds:
-            result.runs.append(run_one(spec, seed, protocol))
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(tasks) <= 1:
+        result.runs.extend(run_one(*task) for task in tasks)
+    else:
+        with Pool(processes=min(jobs, len(tasks))) as pool:
+            result.runs.extend(pool.starmap(run_one, tasks, chunksize=1))
     return result

@@ -148,6 +148,16 @@ class DynamicFaultSchedule:
             self._cursor += 1
         return due_events
 
+    def has_due(self, cycle: int) -> bool:
+        """True when at least one unconsumed event is due by ``cycle``.
+
+        O(1) peek so the engine's fault phase can skip entirely on the
+        (overwhelmingly common) cycles with nothing scheduled.
+        """
+        return self._cursor < len(self.events) and (
+            self.events[self._cursor].cycle <= cycle
+        )
+
     @property
     def remaining(self) -> int:
         return len(self.events) - self._cursor

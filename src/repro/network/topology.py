@@ -76,6 +76,11 @@ class KAryNCube:
         self._channel_index = {
             (c.src, c.dim, c.direction): i for i, c in enumerate(self._channels)
         }
+        # Geometry memo tables: offsets / profitable ports are pure
+        # functions of (src, dst) on an immutable topology and sit on
+        # the router decision hot path.  At most num_nodes^2 entries.
+        self._offsets_cache: dict = {}
+        self._profitable_cache: dict = {}
 
     # ------------------------------------------------------------------
     # Coordinates
@@ -205,7 +210,12 @@ class KAryNCube:
 
     def offsets(self, src: int, dst: int) -> Tuple[int, ...]:
         """Signed shortest offsets in every dimension (header Fig 9)."""
-        return tuple(self.offset(src, dst, d) for d in range(self.n))
+        key = (src, dst)
+        cached = self._offsets_cache.get(key)
+        if cached is None:
+            cached = tuple(self.offset(src, dst, d) for d in range(self.n))
+            self._offsets_cache[key] = cached
+        return cached
 
     def distance(self, src: int, dst: int) -> int:
         """Minimal hop count between two nodes."""
@@ -218,7 +228,14 @@ class KAryNCube:
         header moves closer to its destination.  For even ``k`` a
         half-way offset can be closed in either direction, and both
         ports are profitable.
+
+        The returned list is memoized and shared — callers must not
+        mutate it.
         """
+        key = (node, dst)
+        cached = self._profitable_cache.get(key)
+        if cached is not None:
+            return cached
         ports = []
         for dim in range(self.n):
             off = self.offset(node, dst, dim)
@@ -232,6 +249,7 @@ class KAryNCube:
                 ports.append((dim, MINUS))
                 if 2 * (-off) == self.k:
                     ports.append((dim, PLUS))
+        self._profitable_cache[key] = ports
         return ports
 
     def is_profitable(self, node: int, dst: int, dim: int, direction: int) -> bool:

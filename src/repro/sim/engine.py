@@ -29,6 +29,16 @@ of cycle *t* may move again during cycle *t+1*; a routing decision and
 the resulting hop happen in the same cycle.  Under this convention an
 idle-network message reproduces the Section 2.2 latency formulas
 exactly (validated by the integration tests).
+
+Scheduling: every phase works from *active sets* rather than full
+rescans — the pending-header dict is swapped (not copied) each cycle,
+the control/ack channel sets keep an incrementally maintained ascending
+order instead of being re-sorted twice per cycle, and the dynamic-fault
+phase is an O(1) peek on cycles with nothing scheduled.  All of this is
+behavior-preserving: the same seed replays the exact same cycle-for-
+cycle execution (guarded by the determinism regression suite in
+``tests/sim/test_determinism.py``), which is also what lets the
+parallel campaign runner guarantee serial-equivalent results.
 """
 
 from __future__ import annotations
@@ -75,6 +85,63 @@ class DeadlockError(RuntimeError):
         self.diagnosis = diagnosis
 
 
+class _SortedChannelSet:
+    """Active channel ids, iterable in ascending order without re-sorting.
+
+    Membership is a plain set (O(1) add/discard, truth-testing); the
+    ascending iteration order the engine's deterministic replay relies
+    on comes from a cached sorted view that is rebuilt only when the
+    membership actually changed since the last snapshot — on idle cycles
+    (the common case at low load) taking a snapshot costs nothing,
+    versus the two unconditional ``sorted()`` calls per cycle the
+    original scheduler paid.
+    """
+
+    __slots__ = ("_members", "_view", "_dirty")
+
+    def __init__(self) -> None:
+        self._members: Set[int] = set()
+        self._view: List[int] = []
+        self._dirty = False
+
+    def add(self, ch: int) -> None:
+        members = self._members
+        if ch not in members:
+            members.add(ch)
+            self._dirty = True
+
+    def discard(self, ch: int) -> None:
+        members = self._members
+        if ch in members:
+            members.remove(ch)
+            self._dirty = True
+
+    def __contains__(self, ch: int) -> bool:
+        return ch in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __bool__(self) -> bool:
+        return bool(self._members)
+
+    def __iter__(self):
+        return iter(self.snapshot())
+
+    def snapshot(self) -> List[int]:
+        """The members in ascending order, stable against mutation.
+
+        The returned list is never mutated in place by later
+        ``add``/``discard`` calls, so callers can safely iterate it
+        while rescheduling channels — exactly the snapshot semantics of
+        the old per-cycle ``sorted()`` copy.
+        """
+        if self._dirty:
+            self._view = sorted(self._members)
+            self._dirty = False
+        return self._view
+
+
 class Engine:
     """One simulation instance: network state plus the cycle loop."""
 
@@ -104,19 +171,24 @@ class Engine:
             config.traffic, self.topology, self.rng
         )
         self.dynamic_schedule = dynamic_schedule
+        # Hot-path constants, hoisted once (immutable for the engine's
+        # lifetime by construction).
+        self._inline_header = self.protocol.inline_header
+        self._depth = config.buffer_depth
+        self._tail_ack_mode = config.recovery.tail_ack
 
         num_ch = self.topology.num_channels
         self.control_out: List[ControlQueue] = [
             ControlQueue() for _ in range(num_ch)
         ]
-        self._active_ctrl: Set[int] = set()
+        self._active_ctrl = _SortedChannelSet()
         #: Dedicated acknowledgment wires (Section 7.0 future work):
         #: only used when ``config.hardware_acks`` — one ack per channel
         #: per cycle, not competing with the flit slot.
         self.ack_out: List[ControlQueue] = [
             ControlQueue() for _ in range(num_ch)
         ]
-        self._active_ack: Set[int] = set()
+        self._active_ack = _SortedChannelSet()
         self._arbiters = [
             RoundRobinArbiter(self.channels.vcs_per_channel)
             for _ in range(num_ch)
@@ -131,6 +203,10 @@ class Engine:
         self.queues: List[Deque[Message]] = [
             deque() for _ in range(self.topology.num_nodes)
         ]
+        #: Nodes whose injection queue may be non-empty (a superset —
+        #: the launch phase prunes nodes it finds drained), so the
+        #: per-cycle launch scan touches only busy queues.
+        self._busy_queues: Set[int] = set()
         self._next_msg_id = 0
         #: Per-node id of the message most recently granted ejection
         #: (round-robin fairness on the PE link).
@@ -291,6 +367,7 @@ class Engine:
             raise ValueError("source and destination must differ")
         msg = self._new_message(src, dst, self.cycle, length=length)
         self.queues[src].append(msg)
+        self._busy_queues.add(src)
         if self.queues[src][0] is msg:
             msg.status = MessageStatus.ACTIVE
             msg.header_phase = HeaderPhase.PENDING
@@ -302,9 +379,13 @@ class Engine:
     # Phase 1: dynamic faults
     # ==================================================================
     def _phase_dynamic_faults(self) -> None:
-        if self.dynamic_schedule is None:
+        sched = self.dynamic_schedule
+        # O(1) peek: the whole phase — including the healthy-node sweep
+        # below — is skipped on every cycle with no event due, which is
+        # all of them when no dynamic fault schedule is armed.
+        if sched is None or not sched.has_due(self.cycle):
             return
-        for event in self.dynamic_schedule.due(self.cycle):
+        for event in sched.due(self.cycle):
             event.apply(self.faults)
             self._progress = True
             for ch in self.faults.last_failed_channels:
@@ -384,45 +465,56 @@ class Engine:
     def _phase_routing_decisions(self) -> None:
         if not self.pending:
             return
-        cfg = self.config
-        for msg in list(self.pending.values()):
-            if msg.teardown or msg.is_terminal():
-                self.pending.pop(msg.msg_id, None)
+        max_wait = self.config.max_header_wait
+        decide = self.protocol.decide
+        ctx = self.ctx
+        # Swap the pending set instead of copying it: decided headers
+        # simply drop out, WAITing headers re-enter in place, and tokens
+        # arriving in the later phases append after them — the same
+        # order the per-cycle snapshot copy used to produce.
+        batch = self.pending
+        self.pending = {}
+        pending = self.pending
+        queued = MessageStatus.QUEUED
+        active = MessageStatus.ACTIVE
+        pending_phase = HeaderPhase.PENDING
+        for msg in batch.values():
+            status = msg.status
+            if msg.teardown or (status is not active and status is not queued):
                 continue
-            if msg.header_phase is not HeaderPhase.PENDING:
-                self.pending.pop(msg.msg_id, None)
+            if msg.header_phase is not pending_phase:
                 continue
-            # Livelock valve: abort headers that wander too long.
-            hop_cap = cfg.hop_cap_base + cfg.hop_cap_factor * (
-                self.topology.distance(msg.src, msg.dst)
-            )
-            if msg.hops_taken > hop_cap:
+            # Livelock valve: abort headers that wander too long (the
+            # cap is constant per message, computed at creation).
+            if msg.hops_taken > msg.hop_cap:
                 self._abort(msg, "livelock hop cap exceeded")
                 continue
-            decision = self.protocol.decide(self.ctx, msg)
-            if decision.action is Action.WAIT:
+            decision = decide(ctx, msg)
+            action = decision.action
+            if action is Action.WAIT:
                 msg.wait_cycles += 1
                 msg.consecutive_waits += 1
-                if msg.consecutive_waits > cfg.max_header_wait:
+                if msg.consecutive_waits > max_wait:
                     # The paper's last-resort escape: a header that can
                     # no longer make progress is recovered — the path
                     # is torn down and the message retried from the
                     # source (Section 4.0).
                     self._abort(msg, "header blocked past wait limit")
+                    continue
+                pending[msg.msg_id] = msg
                 continue
             msg.consecutive_waits = 0
-            if decision.action is Action.RESERVE:
+            if action is Action.RESERVE:
                 self._execute_reserve(msg, decision)
-            elif decision.action is Action.BACKTRACK:
+            elif action is Action.BACKTRACK:
                 self._execute_backtrack(msg)
-            elif decision.action is Action.ABORT:
+            elif action is Action.ABORT:
                 self._abort(msg, decision.reason)
 
     def _execute_reserve(self, msg: Message, decision) -> None:
         vc = decision.vc
         dim, direction = decision.port
         vc.reserve(msg.msg_id)
-        vc.grants += 0  # grants counted on data transfer
         k = decision.k
         if self.protocol.flow_control.kind is FlowControlKind.PCS:
             k = K_INFINITE
@@ -489,35 +581,40 @@ class Engine:
     # ==================================================================
     def _phase_control_transfers(self) -> Set[int]:
         used: Set[int] = set()
+        cycle = self.cycle
         # Dedicated ack wires first: they never consume the flit slot.
         if self._active_ack:
-            for ch in sorted(self._active_ack):
-                q = self.ack_out[ch]
+            active_ack = self._active_ack
+            ack_out = self.ack_out
+            for ch in active_ack.snapshot():
+                q = ack_out[ch]
                 head = q.peek()
                 if head is None:
-                    self._active_ack.discard(ch)
+                    active_ack.discard(ch)
                     continue
-                if head.ready_cycle > self.cycle:
+                if head.ready_cycle > cycle:
                     continue
                 token = q.pop()
                 if not q:
-                    self._active_ack.discard(ch)
+                    active_ack.discard(ch)
                 self.control_flits_sent += 1
                 self._progress = True
                 self._deliver(token)
         if not self._active_ctrl:
             return used
-        for ch in sorted(self._active_ctrl):
-            q = self.control_out[ch]
+        active_ctrl = self._active_ctrl
+        control_out = self.control_out
+        for ch in active_ctrl.snapshot():
+            q = control_out[ch]
             head = q.peek()
             if head is None:
-                self._active_ctrl.discard(ch)
+                active_ctrl.discard(ch)
                 continue
-            if head.ready_cycle > self.cycle:
+            if head.ready_cycle > cycle:
                 continue
             token = q.pop()
             if not q:
-                self._active_ctrl.discard(ch)
+                active_ctrl.discard(ch)
             used.add(ch)
             self.control_flits_sent += 1
             self._progress = True
@@ -909,6 +1006,7 @@ class Engine:
         clone.original_id = original.original_id
         clone.retransmits = original.retransmits + 1
         q = self.queues[original.src]
+        self._busy_queues.add(original.src)
         if q and q[0] is original:
             q[0] = clone
         else:
@@ -918,127 +1016,151 @@ class Engine:
     # Phase 4: data movement
     # ==================================================================
     def _phase_data_movement(self, used_by_control: Set[int]) -> None:
-        depth = self.config.buffer_depth
-        candidates: Dict[int, List[Tuple[int, Message, int]]] = {}
-        self._eject_ready = {}
+        depth = self._depth
+        # channel id -> [(vc index, message, position, is_last, vc), ...]
+        candidates: Dict[int, List[tuple]] = {}
+        eject_ready: Dict[int, Dict[int, Message]] = {}
+        self._eject_ready = eject_ready
+        active_status = MessageStatus.ACTIVE
+        delivered_phase = HeaderPhase.DELIVERED
 
         for msg in self.active.values():
-            if msg.teardown or msg.status is not MessageStatus.ACTIVE:
+            if msg.teardown or msg.status is not active_status:
                 continue
-            path_len = len(msg.path)
+            path = msg.path
+            path_len = len(path)
             if path_len == 0:
                 continue
-            head_move = msg.head_link + 1
+            buffered = msg.buffered
+            head_link = msg.head_link
+            head_move = head_link + 1
             # Ejection candidate: path complete at destination with
             # flits waiting in the final buffer.
             if (
-                msg.header_phase is HeaderPhase.DELIVERED
-                and msg.buffered[path_len - 1] > 0
+                msg.header_phase is delivered_phase
+                and buffered[path_len - 1] > 0
             ):
-                self._eject_ready.setdefault(msg.dst, {})[msg.msg_id] = msg
-            # Injection candidate (crossing path[0]).
-            if msg.at_source > 0:
-                self._add_candidate(
-                    candidates, msg, 0, head_move, depth, used_by_control
-                )
-            # Buffered flits crossing path[t+1].
+                bucket = eject_ready.get(msg.dst)
+                if bucket is None:
+                    eject_ready[msg.dst] = {msg.msg_id: msg}
+                else:
+                    bucket[msg.msg_id] = msg
+            # Crossing positions with a flit ready to move: 0 while
+            # still injecting (crossing path[0]), then t+1 for every
+            # occupied buffer in [tail_idx, head_link].  The scan and
+            # the per-position credit/gate checks are fused into one
+            # pass so no intermediate position list is materialized.
+            released = msg.released
+            backtrack_lock = msg.backtrack_lock
+            inject = msg.at_source > 0
             t = msg.tail_idx
-            head_link = msg.head_link
-            buffered = msg.buffered
-            while t <= head_link:
-                if buffered[t] > 0 and t + 1 < path_len:
-                    self._add_candidate(
-                        candidates, msg, t + 1, head_move, depth,
-                        used_by_control,
-                    )
-                t += 1
+            while True:
+                if inject:
+                    inject = False
+                    p = 0
+                else:
+                    if t > head_link:
+                        break
+                    occupied = buffered[t]
+                    t += 1
+                    if occupied == 0:
+                        continue
+                    p = t  # the position downstream of old t
+                    if p >= path_len:
+                        continue
+                # No credit (downstream buffer full) or no live link.
+                if buffered[p] >= depth or released[p]:
+                    continue
+                if p == backtrack_lock:
+                    continue  # the header is retreating over this link
+                if p == head_move:
+                    # First-data-flit gate (Figure 11 DIBU enable).
+                    if msg.held[p]:
+                        continue
+                    k_at = msg.k_at
+                    k_gate = k_at[p - 1] if p > 0 else k_at[0]
+                    if k_gate >= K_INFINITE:
+                        if not msg.path_established:
+                            continue
+                    elif (
+                        msg.acks_at[p] < k_gate
+                        and not msg.path_established
+                    ):
+                        # On a path shorter than K the header reaches
+                        # the destination before K acks exist; the path
+                        # acknowledgment then releases the data (SR
+                        # degenerates to PCS, Section 2.2).
+                        continue
+                vc = path[p]
+                ch = vc.channel_id
+                if ch in used_by_control:
+                    continue
+                entry = (vc.index, msg, p, p == path_len - 1, vc)
+                bucket = candidates.get(ch)
+                if bucket is None:
+                    candidates[ch] = [entry]
+                else:
+                    bucket.append(entry)
 
         # Grant one data flit per physical channel (round-robin among
         # resident VCs), skipping channels used by control this cycle.
+        # The per-grant flit move is inlined here (it is the hottest
+        # code in the simulator); semantics are unchanged.
+        arbiters = self._arbiters
+        inline_header = self._inline_header
+        tail_ack = self._tail_ack_mode
+        cycle = self.cycle
+        moved = 0
         for ch, cands in candidates.items():
             if len(cands) == 1:
-                vc_idx, msg, p = cands[0]
+                vc_idx, msg, p, is_last, vc = cands[0]
             else:
-                winner = self._arbiters[ch].grant_from(
+                winner = arbiters[ch].grant_from(
                     [c[0] for c in cands]
                 )
-                vc_idx, msg, p = next(
+                vc_idx, msg, p, is_last, vc = next(
                     c for c in cands if c[0] == winner
                 )
-            self._move_flit(msg, p)
+            buffered = msg.buffered
+            if p == 0:
+                msg.at_source -= 1
+                if msg.injected_cycle is None:
+                    msg.injected_cycle = cycle
+            else:
+                buffered[p - 1] -= 1
+            buffered[p] += 1
+            crossed = msg.crossed
+            crossed[p] += 1
+            vc.grants += 1
+            moved += 1
+            if p == msg.head_link + 1:
+                msg.head_link = p
+                if inline_header:
+                    self._inline_header_arrived(msg, p + 1)
+            if is_last and msg.header_phase is delivered_phase:
+                bucket = eject_ready.get(msg.dst)
+                if bucket is None:
+                    eject_ready[msg.dst] = {msg.msg_id: msg}
+                else:
+                    bucket[msg.msg_id] = msg
+            if msg.at_source == 0:
+                tail_idx = msg.tail_idx
+                head_link = msg.head_link
+                while tail_idx <= head_link and buffered[tail_idx] == 0:
+                    tail_idx += 1
+                msg.tail_idx = tail_idx
+            if crossed[p] == msg.total_flits and not tail_ack:
+                self._release_link(msg, p)
+        if moved:
+            self.data_flits_moved += moved
+            self._progress = True
 
         # Ejection: one flit per node per cycle over the PE link.  A
         # flit that arrived this cycle may eject this cycle (cut-through
         # ejection port), which makes idle-network latency match the
         # Section 2.2 formulas exactly.
         for node, msgs in self._eject_ready.items():
-            self._eject_one(node, list(msgs.values()))
-
-    def _add_candidate(
-        self,
-        candidates: Dict[int, List[Tuple[int, Message, int]]],
-        msg: Message,
-        p: int,
-        head_move: int,
-        depth: int,
-        used_by_control: Set[int],
-    ) -> None:
-        if msg.buffered[p] >= depth or msg.released[p]:
-            return
-        if p == msg.backtrack_lock:
-            return  # the header is retreating over this link
-        if p == head_move:
-            # First-data-flit gate (Figure 11 DIBU enable).
-            if msg.held[p]:
-                return
-            k_gate = msg.k_at[p - 1] if p > 0 else msg.k_at[0]
-            if k_gate >= K_INFINITE:
-                if not msg.path_established:
-                    return
-            elif msg.acks_at[p] < k_gate and not msg.path_established:
-                # On a path shorter than K the header reaches the
-                # destination before K acks exist; the path
-                # acknowledgment then releases the data (SR degenerates
-                # to PCS, Section 2.2).
-                return
-        vc = msg.path[p]
-        ch = vc.channel_id
-        if ch in used_by_control:
-            return
-        candidates.setdefault(ch, []).append((vc.index, msg, p))
-
-    def _move_flit(self, msg: Message, p: int) -> None:
-        if p == 0:
-            msg.at_source -= 1
-            if msg.injected_cycle is None:
-                msg.injected_cycle = self.cycle
-        else:
-            msg.buffered[p - 1] -= 1
-        msg.buffered[p] += 1
-        msg.crossed[p] += 1
-        msg.path[p].grants += 1
-        self.data_flits_moved += 1
-        self._progress = True
-        if p == msg.head_link + 1:
-            msg.head_link = p
-            if self.protocol.inline_header:
-                self._inline_header_arrived(msg, p + 1)
-        if (
-            msg.header_phase is HeaderPhase.DELIVERED
-            and p == len(msg.path) - 1
-        ):
-            self._eject_ready.setdefault(msg.dst, {})[msg.msg_id] = msg
-        if msg.at_source == 0:
-            while (
-                msg.tail_idx <= msg.head_link
-                and msg.buffered[msg.tail_idx] == 0
-            ):
-                msg.tail_idx += 1
-        if (
-            msg.crossed[p] == msg.total_flits
-            and not self.config.recovery.tail_ack
-        ):
-            self._release_link(msg, p)
+            self._eject_one(node, msgs)
 
     def _inline_header_arrived(self, msg: Message, router_idx: int) -> None:
         """In-band header flit reached a new router."""
@@ -1051,37 +1173,36 @@ class Engine:
             msg.header_phase = HeaderPhase.PENDING
             self.pending[msg.msg_id] = msg
 
-    def _eject_one(self, node: int, msgs: List[Message]) -> None:
+    def _eject_one(self, node: int, msgs: Dict[int, Message]) -> None:
         """Grant the PE link to one waiting message (round-robin by id)."""
-        last = self._eject_last[node]
-        winner = None
-        for msg in sorted(msgs, key=lambda m: m.msg_id):
-            if msg.msg_id > last:
-                winner = msg
-                break
-        if winner is None:
-            winner = min(msgs, key=lambda m: m.msg_id)
+        if len(msgs) == 1:
+            # Single contender: round-robin degenerates to a grant.
+            winner = next(iter(msgs.values()))
+        else:
+            last = self._eject_last[node]
+            ids = sorted(msgs)
+            winner = msgs[next((i for i in ids if i > last), ids[0])]
         self._eject_last[node] = winner.msg_id
-        self._consume_flit(winner)
-
-    def _consume_flit(self, msg: Message) -> None:
-        last = len(msg.path) - 1
-        msg.buffered[last] -= 1
+        msg = winner
+        buffered = msg.buffered
+        buffered[len(msg.path) - 1] -= 1
         msg.ejected += 1
         self._progress = True
         # Throughput counts data flits; skip the in-band header flit.
-        is_header_flit = self.protocol.inline_header and msg.ejected == 1
-        if not is_header_flit and self.in_measure_window():
+        is_header_flit = self._inline_header and msg.ejected == 1
+        if not is_header_flit and (
+            self._measuring_from < self.cycle <= self._measuring_to
+        ):
             self.measured_delivered_flits += 1
         if msg.at_source == 0:
-            while (
-                msg.tail_idx <= msg.head_link
-                and msg.buffered[msg.tail_idx] == 0
-            ):
-                msg.tail_idx += 1
+            tail_idx = msg.tail_idx
+            head_link = msg.head_link
+            while tail_idx <= head_link and buffered[tail_idx] == 0:
+                tail_idx += 1
+            msg.tail_idx = tail_idx
         if msg.ejected == msg.total_flits:
             msg.delivered_cycle = self.cycle
-            if self.config.recovery.tail_ack:
+            if self._tail_ack_mode:
                 # Hold the path; tear it down with the tail ack.
                 self._push_control(
                     ControlFlit(
@@ -1102,59 +1223,84 @@ class Engine:
     def _phase_traffic(self) -> None:
         cfg = self.config
         if self.traffic_enabled and cfg.offered_load > 0:
-            p_msg = cfg.offered_load / cfg.message_length
+            length = cfg.message_length
+            limit = cfg.injection_queue_limit
+            p_msg = cfg.offered_load / length
             measuring = self.in_measure_window()
+            rand = self.rng.random
+            queues = self.queues
+            busy_queues = self._busy_queues
+            destination = self.traffic.destination
+            cycle = self.cycle
             for node in self.traffic.healthy_nodes:
-                if self.rng.random() >= p_msg:
+                if rand() >= p_msg:
                     continue
-                dst = self.traffic.destination(node)
+                dst = destination(node)
                 if dst is None:
                     continue
                 self.offered_messages += 1
                 if measuring:
-                    self.measured_offered_flits += cfg.message_length
-                queue = self.queues[node]
-                if len(queue) >= cfg.injection_queue_limit:
+                    self.measured_offered_flits += length
+                queue = queues[node]
+                if len(queue) >= limit:
                     self.rejected_messages += 1
                     continue
                 self.accepted_messages += 1
                 if measuring:
-                    self.measured_accepted_flits += cfg.message_length
-                queue.append(self._new_message(node, dst, self.cycle))
+                    self.measured_accepted_flits += length
+                queue.append(self._new_message(node, dst, cycle))
+                busy_queues.add(node)
 
-        # Launch / advance injection queues.
-        tail_ack = self.config.recovery.tail_ack
-        for node, queue in enumerate(self.queues):
+        # Launch / advance injection queues.  Only nodes in the busy
+        # set can hold a non-empty queue; ascending order matches the
+        # full scan this replaces.
+        busy = self._busy_queues
+        if not busy:
+            return
+        tail_ack = self._tail_ack_mode
+        active_status = MessageStatus.ACTIVE
+        queued_status = MessageStatus.QUEUED
+        pending_phase = HeaderPhase.PENDING
+        queues = self.queues
+        for node in sorted(busy):
+            queue = queues[node]
             while queue:
                 head = queue[0]
-                if head.is_terminal():
-                    queue.popleft()
-                    continue
-                if head.status is MessageStatus.ACTIVE:
+                status = head.status
+                if status is active_status:
                     done_injecting = head.at_source == 0
                     released = head.tail_acked if tail_ack else True
                     if done_injecting and released and not head.teardown:
                         queue.popleft()
                         continue
                     break
+                if status is not queued_status:  # terminal
+                    queue.popleft()
+                    continue
                 # QUEUED head: launch its routing header.
-                head.status = MessageStatus.ACTIVE
-                head.header_phase = HeaderPhase.PENDING
+                head.status = active_status
+                head.header_phase = pending_phase
                 self.active[head.msg_id] = head
                 self.pending[head.msg_id] = head
                 self._progress = True
                 break
+            if not queue:
+                busy.discard(node)
 
     def _new_message(self, src: int, dst: int, created_cycle: int,
                      length: Optional[int] = None) -> Message:
+        cfg = self.config
         msg = Message(
             msg_id=self._next_msg_id,
             src=src,
             dst=dst,
-            length=length if length is not None else self.config.message_length,
+            length=length if length is not None else cfg.message_length,
             offsets=self.topology.offsets(src, dst),
             created_cycle=created_cycle,
-            inline_header=self.protocol.inline_header,
+            inline_header=self._inline_header,
+        )
+        msg.hop_cap = cfg.hop_cap_base + cfg.hop_cap_factor * (
+            self.topology.distance(src, dst)
         )
         self._next_msg_id += 1
         self.messages[msg.msg_id] = msg

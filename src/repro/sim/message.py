@@ -117,7 +117,7 @@ class Message:
         "path", "path_nodes", "k_at", "held", "released", "link_misroute",
         "acks_at", "tried", "arrival_dims",
         "buffered", "crossed", "at_source", "ejected", "killed_flits",
-        "head_link", "tail_idx",
+        "head_link", "tail_idx", "total_flits", "hop_cap",
         "detour_stack", "detour_count", "backtrack_count", "backtrack_lock",
         "misroute_total", "hops_taken", "retries", "retry_wait",
         "wait_cycles", "consecutive_waits", "original_id", "retransmits",
@@ -175,8 +175,10 @@ class Message:
         # Data pipeline occupancy.
         self.buffered: List[int] = []
         self.crossed: List[int] = []
+        #: Flits that traverse data channels (header included if inline).
+        self.total_flits = length + (1 if inline_header else 0)
         #: Flits not yet injected; the in-band header counts as a flit.
-        self.at_source = length + (1 if inline_header else 0)
+        self.at_source = self.total_flits
         self.ejected = 0
         self.killed_flits = 0
         #: Highest path-link index the first data flit has crossed.
@@ -195,6 +197,10 @@ class Message:
         self.backtrack_lock = -1
         self.misroute_total = 0
         self.hops_taken = 0
+        #: Livelock hop budget (engine-assigned; depends on src-dst
+        #: distance and the config's cap parameters, both constant for
+        #: the message's lifetime).
+        self.hop_cap = 0
         self.retries = 0
         #: Cycle until which a retry is deferred (simple backoff).
         self.retry_wait = 0
@@ -217,11 +223,6 @@ class Message:
     # ------------------------------------------------------------------
     # Derived views
     # ------------------------------------------------------------------
-    @property
-    def total_flits(self) -> int:
-        """Flits that traverse data channels (header included if inline)."""
-        return self.length + (1 if self.inline_header else 0)
-
     @property
     def head_router(self) -> int:
         """Path index of the router holding the first data flit."""

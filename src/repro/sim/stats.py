@@ -111,6 +111,11 @@ class RunResult:
     teardown_counts: dict = field(default_factory=dict)
     #: Invariant audits run during the simulation (0 = auditor off).
     invariant_checks: int = 0
+    #: Whether the network fully drained (no active messages, empty
+    #: injection queues) before summarizing.  An undrained run holds
+    #: truncated latency samples — in-flight messages never produced a
+    #: record — and its figures must be treated with suspicion.
+    drained: bool = True
 
     @property
     def delivery_ratio(self) -> float:
@@ -133,7 +138,13 @@ def summarize(engine, warmup: int) -> RunResult:
     latencies = [r.latency for r in delivered if r.latency is not None]
     mean, half = mean_confidence_interval(latencies)
 
-    measure_cycles = max(1, engine.measure_window_cycles())
+    measure_cycles = engine.measure_window_cycles()
+    if measure_cycles <= 0:
+        raise ValueError(
+            "zero-length measurement window: the engine never ran past "
+            f"its warmup (cycle {engine.cycle}); throughput cannot be "
+            "normalized — run the simulation before summarizing"
+        )
     nodes = engine.topology.num_nodes
     norm = measure_cycles * nodes
     dropped = sum(
@@ -173,6 +184,7 @@ def summarize(engine, warmup: int) -> RunResult:
         invariant_checks=(
             engine.auditor.checks_run if engine.auditor is not None else 0
         ),
+        drained=not engine.active and not any(engine.queues),
     )
 
 
@@ -185,6 +197,12 @@ class ReplicatedResult:
     latency_ci95: float
     throughput_mean: float
     throughput_ci95: float
+    #: Whether the CI stopping rule was actually satisfied.  A single
+    #: replication can never certify its interval (the n=1 CI half
+    #: width is infinite), so campaigns with ``max_runs == 1`` are
+    #: always unconverged and say so instead of hiding behind
+    #: ``relative_ci == inf``.
+    converged: bool = True
 
     @property
     def relative_ci(self) -> float:
@@ -204,33 +222,42 @@ class ReplicatedResult:
     def killed(self) -> int:
         return sum(r.killed for r in self.runs)
 
+    @property
+    def undrained_runs(self) -> int:
+        """Replications whose network never fully drained."""
+        return sum(1 for r in self.runs if not r.drained)
 
-def repeat_until_confident(
-    run_one: Callable[[int], RunResult],
-    min_runs: int = 2,
-    max_runs: int = 8,
-    target_relative_ci: float = 0.05,
-    base_seed: int = 1,
-) -> ReplicatedResult:
-    """The paper's protocol: replicate until the 95% CI is < 5% of mean.
 
-    ``run_one(seed)`` performs one independent simulation.  Replication
-    means (not pooled samples) feed the interval, as in classic
-    independent-replications output analysis [Ferrari 78].
+def replications_converged(
+    runs: Sequence[RunResult], target_relative_ci: float
+) -> bool:
+    """The campaign stopping rule, shared by serial and parallel paths.
+
+    True when the 95% CI of the replication latency means is within
+    ``target_relative_ci`` of the mean.  Fewer than two non-NaN means
+    can never converge: the n=1 interval is infinite (so this also
+    encodes "never stop at n=1" explicitly rather than by accident of
+    ``inf`` comparisons).
     """
-    if min_runs < 1 or max_runs < min_runs:
-        raise ValueError("need 1 <= min_runs <= max_runs")
-    runs: List[RunResult] = []
-    for i in range(max_runs):
-        runs.append(run_one(base_seed + i))
-        if len(runs) < min_runs:
-            continue
-        lat_means = [
-            r.latency_mean for r in runs if not math.isnan(r.latency_mean)
-        ]
-        mean, half = mean_confidence_interval(lat_means)
-        if lat_means and mean > 0 and half / mean <= target_relative_ci:
-            break
+    lat_means = [
+        r.latency_mean for r in runs if not math.isnan(r.latency_mean)
+    ]
+    if len(lat_means) < 2:
+        return False
+    mean, half = mean_confidence_interval(lat_means)
+    return mean > 0 and half / mean <= target_relative_ci
+
+
+def aggregate_replications(
+    runs: Sequence[RunResult], target_relative_ci: float = 0.05
+) -> ReplicatedResult:
+    """Fold replication runs into a :class:`ReplicatedResult`.
+
+    Pure function of the (ordered) run list, so a parallel campaign
+    that reproduces the serial run list reproduces the aggregate
+    exactly.
+    """
+    runs = list(runs)
     lat_means = [
         r.latency_mean for r in runs if not math.isnan(r.latency_mean)
     ]
@@ -243,4 +270,33 @@ def repeat_until_confident(
         latency_ci95=lat_half,
         throughput_mean=tput_mean,
         throughput_ci95=tput_half,
+        converged=replications_converged(runs, target_relative_ci),
     )
+
+
+def repeat_until_confident(
+    run_one: Callable[[int], RunResult],
+    min_runs: int = 2,
+    max_runs: int = 8,
+    target_relative_ci: float = 0.05,
+    base_seed: int = 1,
+) -> ReplicatedResult:
+    """The paper's protocol: replicate until the 95% CI is < 5% of mean.
+
+    ``run_one(seed)`` performs one independent simulation.  Replication
+    means (not pooled samples) feed the interval, as in classic
+    independent-replications output analysis [Ferrari 78].  The result
+    carries ``converged=False`` when the rule was never satisfied
+    within ``max_runs`` — in particular a single replication is always
+    unconverged, since its confidence interval is unbounded.
+    """
+    if min_runs < 1 or max_runs < min_runs:
+        raise ValueError("need 1 <= min_runs <= max_runs")
+    runs: List[RunResult] = []
+    for i in range(max_runs):
+        runs.append(run_one(base_seed + i))
+        if len(runs) < min_runs:
+            continue
+        if replications_converged(runs, target_relative_ci):
+            break
+    return aggregate_replications(runs, target_relative_ci)

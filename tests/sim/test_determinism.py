@@ -1,0 +1,138 @@
+"""Determinism regression suite (the engine refactor's safety net).
+
+Two simulations built from the same :class:`SimulationConfig` (same
+seed) must be *byte-identical*: every field of the resulting
+:class:`RunResult` — including the full latency sample list, the
+deadlock-victim order, and every counter — must match exactly.  This is
+what makes aggressive scheduling refactors in the engine safe to land,
+and it is the foundation of the parallel campaign runner's
+serial-equivalence guarantee (a worker process replays the same config
+and must reach the same result).
+
+The matrix covers every flow-control mechanism of the paper: wormhole
+(DP), scouting SR(K) (TP conservative), PCS (MB-m), TP aggressive, and
+plain dimension-order — plus a dynamic-fault scenario and a
+deadlock-recovery scenario, which exercise the teardown/kill machinery.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.config import FaultConfig, RecoveryConfig, SimulationConfig
+from repro.sim.simulator import NetworkSimulator
+
+
+def run_twice(cfg: SimulationConfig):
+    return NetworkSimulator(cfg).run(), NetworkSimulator(cfg).run()
+
+
+def assert_identical(a, b):
+    """Field-by-field equality, reported per field for diagnosis."""
+    da = dataclasses.asdict(a)
+    db = dataclasses.asdict(b)
+    assert set(da) == set(db)
+    for name in da:
+        assert da[name] == db[name], (
+            f"RunResult.{name} differs between identical-config runs: "
+            f"{da[name]!r} != {db[name]!r}"
+        )
+
+
+PROTOCOL_MATRIX = [
+    # (id, protocol, protocol_params)
+    ("wr-dp", "dp", {}),
+    ("pcs-mb", "mb", {}),
+    ("tp-aggressive", "tp", {"k_unsafe": 0}),
+    ("sr-tp-conservative", "tp", {"k_unsafe": 3}),
+    ("det", "det", {}),
+]
+
+
+@pytest.mark.parametrize(
+    "protocol,params",
+    [m[1:] for m in PROTOCOL_MATRIX],
+    ids=[m[0] for m in PROTOCOL_MATRIX],
+)
+def test_protocol_determinism(protocol, params):
+    cfg = SimulationConfig(
+        k=6, n=2, protocol=protocol, protocol_params=params,
+        offered_load=0.10, message_length=8,
+        warmup_cycles=150, measure_cycles=600, drain_cycles=2000,
+        seed=17,
+    )
+    a, b = run_twice(cfg)
+    assert a.delivered > 0
+    assert_identical(a, b)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_seed_sensitivity_and_stability(seed):
+    """Each seed is stable; different seeds genuinely differ."""
+    base = SimulationConfig(
+        k=5, n=2, protocol="tp", offered_load=0.08, message_length=8,
+        warmup_cycles=100, measure_cycles=500, drain_cycles=1500,
+    )
+    a, b = run_twice(base.with_(seed=seed))
+    assert_identical(a, b)
+    other = NetworkSimulator(base.with_(seed=seed + 10)).run()
+    assert (a.latency_mean, a.delivered) != (
+        other.latency_mean, other.delivered
+    )
+
+
+def test_static_fault_determinism():
+    cfg = SimulationConfig(
+        k=6, n=2, protocol="tp", offered_load=0.08, message_length=8,
+        warmup_cycles=150, measure_cycles=600, drain_cycles=2000,
+        seed=9, faults=FaultConfig(static_node_faults=3),
+    )
+    a, b = run_twice(cfg)
+    assert a.delivered > 0
+    assert_identical(a, b)
+
+
+def test_dynamic_fault_determinism():
+    """Dynamic faults drive kill-flit teardown and retransmission."""
+    cfg = SimulationConfig(
+        k=6, n=2, protocol="tp", offered_load=0.08, message_length=8,
+        warmup_cycles=150, measure_cycles=800, drain_cycles=4000,
+        seed=11,
+        faults=FaultConfig(dynamic_faults=4, dynamic_start=150),
+        recovery=RecoveryConfig(tail_ack=True, retransmit=True),
+    )
+    a, b = run_twice(cfg)
+    assert a.delivered > 0
+    assert a.teardown_counts.get("fault", 0) > 0, (
+        "scenario must actually exercise fault teardown"
+    )
+    assert_identical(a, b)
+
+
+def test_hardware_ack_determinism():
+    """The dedicated-ack wires use a separate active set in the engine."""
+    cfg = SimulationConfig(
+        k=6, n=2, protocol="tp", protocol_params={"k_unsafe": 3},
+        offered_load=0.10, message_length=8, hardware_acks=True,
+        warmup_cycles=150, measure_cycles=600, drain_cycles=2000,
+        seed=21,
+    )
+    a, b = run_twice(cfg)
+    assert a.delivered > 0
+    assert_identical(a, b)
+
+
+def test_deadlock_recovery_determinism():
+    """Victim selection and ejection order must replay exactly."""
+    cfg = SimulationConfig(
+        k=6, n=2, protocol="det", protocol_params={"dateline": False},
+        offered_load=0.30, message_length=16,
+        warmup_cycles=100, measure_cycles=800, drain_cycles=8000,
+        seed=3, watchdog_cycles=120, max_header_wait=6000,
+    )
+    a, b = run_twice(cfg)
+    assert a.deadlock_recoveries > 0, (
+        "gridlock scenario must actually trigger recovery"
+    )
+    assert a.deadlock_victims == b.deadlock_victims
+    assert_identical(a, b)

@@ -103,8 +103,10 @@ class TestNetworkSimulator:
         result = sim.run()
         assert result.delivered > 0
 
-    def test_results_before_run(self):
+    def test_results_before_run_rejected(self):
+        """Summarizing an engine that never ran has no measurement
+        window to normalize throughput by; it must refuse loudly."""
         cfg = SimulationConfig(k=5, n=2, protocol="tp",
                                warmup_cycles=10, measure_cycles=10)
-        result = NetworkSimulator(cfg).results()
-        assert result.delivered == 0
+        with pytest.raises(ValueError, match="measurement window"):
+            NetworkSimulator(cfg).results()

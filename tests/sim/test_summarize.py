@@ -32,6 +32,8 @@ class StubEngine:
         self.deadlock_victims = []
         self.teardown_counts = {}
         self.auditor = None
+        self.active = {}
+        self.queues = [[] for _ in range(self.topology.num_nodes)]
 
     def measure_window_cycles(self):
         return self._measure
@@ -105,10 +107,22 @@ class TestSummarize:
         assert result.control_flits == 77
         assert result.drop_reasons == {"x": 1}
 
-    def test_zero_window_guard(self):
+    def test_zero_window_raises(self):
+        """A zero-length window means throughput has no denominator —
+        refusing loudly beats silently normalizing by a fabricated 1."""
         engine = StubEngine([rec(1)], measure_cycles=0)
-        result = summarize(engine, warmup=500)
-        assert math.isfinite(result.throughput)  # normalized by >= 1
+        with pytest.raises(ValueError, match="measurement window"):
+            summarize(engine, warmup=500)
+
+    def test_drained_flag(self):
+        engine = StubEngine([rec(1)])
+        assert summarize(engine, warmup=500).drained
+        engine = StubEngine([rec(1)])
+        engine.active = {7: object()}  # a message still in flight
+        assert not summarize(engine, warmup=500).drained
+        engine = StubEngine([rec(1)])
+        engine.queues[3].append(object())  # a message never launched
+        assert not summarize(engine, warmup=500).drained
 
 
 class TestRunResultProperties:
