@@ -1,0 +1,119 @@
+"""Compare two ``BENCH_engine.json`` snapshots workload by workload.
+
+Usage::
+
+    python benchmarks/compare_bench.py BASELINE.json CURRENT.json \
+        [--threshold 0.05]
+
+Prints a per-workload table of simulated cycles per second (baseline,
+current, and the relative delta) and exits nonzero when any workload
+present in both files regressed by more than ``--threshold`` (default
+5%).  Speedups never fail; workloads present on only one side are
+reported but ignored for the verdict, so adding or retiring a workload
+does not break the comparison.
+
+CI runs this informationally against the committed snapshot (the
+numbers are machine-dependent, so it must not gate merges there); run
+it locally against a baseline produced on the same machine to validate
+an engine optimisation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import List, Optional
+
+
+def load_rows(path: pathlib.Path) -> dict:
+    """Map workload name -> row for one BENCH_engine.json file."""
+    report = json.loads(path.read_text())
+    return {row["workload"]: row for row in report["workloads"]}
+
+
+def compare(baseline: dict, current: dict, threshold: float):
+    """Per-workload comparison rows plus the list of regressions.
+
+    Returns ``(rows, regressions)``; each row is a dict with the
+    workload name, both cycles/sec figures (``None`` when the workload
+    is missing on that side), and ``delta`` (relative change, ``None``
+    unless present on both sides).  ``regressions`` lists the names
+    whose throughput dropped by more than ``threshold``.
+    """
+    rows: List[dict] = []
+    regressions: List[str] = []
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        cur = current.get(name)
+        base_cps: Optional[float] = base and base["cycles_per_sec"]
+        cur_cps: Optional[float] = cur and cur["cycles_per_sec"]
+        delta: Optional[float] = None
+        if base_cps and cur_cps:
+            delta = (cur_cps - base_cps) / base_cps
+            if delta < -threshold:
+                regressions.append(name)
+        rows.append({
+            "workload": name,
+            "baseline": base_cps,
+            "current": cur_cps,
+            "delta": delta,
+        })
+    return rows, regressions
+
+
+def render(rows: List[dict], regressions: List[str],
+           threshold: float) -> str:
+    header = (
+        f"{'workload':<20} {'baseline':>12} {'current':>12} {'delta':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        base = (
+            f"{row['baseline']:>12,.0f}" if row["baseline"] is not None
+            else f"{'-':>12}"
+        )
+        cur = (
+            f"{row['current']:>12,.0f}" if row["current"] is not None
+            else f"{'-':>12}"
+        )
+        if row["delta"] is None:
+            delta = f"{'-':>8}"
+        else:
+            mark = " *" if row["workload"] in regressions else ""
+            delta = f"{row['delta']:>+8.1%}{mark}"
+        lines.append(f"{row['workload']:<20} {base} {cur} {delta}")
+    lines.append("-" * len(header))
+    if regressions:
+        lines.append(
+            f"FAIL: {len(regressions)} workload(s) regressed more than "
+            f"{threshold:.0%}: {', '.join(regressions)}"
+        )
+    else:
+        lines.append(f"PASS: no workload regressed more than {threshold:.0%}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_engine.json files (cycles/sec)."
+    )
+    parser.add_argument("baseline", type=pathlib.Path,
+                        help="baseline BENCH_engine.json")
+    parser.add_argument("current", type=pathlib.Path,
+                        help="current BENCH_engine.json")
+    parser.add_argument(
+        "--threshold", type=float, default=0.05,
+        help="max tolerated relative throughput drop (default: 0.05)",
+    )
+    args = parser.parse_args(argv)
+    rows, regressions = compare(
+        load_rows(args.baseline), load_rows(args.current), args.threshold
+    )
+    print(render(rows, regressions, args.threshold))
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,27 +22,35 @@ from .conftest import run_and_report
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCH_JSON = REPO_ROOT / "BENCH_engine.json"
 
-#: (name, protocol, params, offered load, dynamic faults) — low and
-#: near-saturation load for the paper's default protocol, a
-#: dynamic-fault storm, and the two comparison protocols.
+#: (name, protocol, params, offered load, dynamic faults, overrides) —
+#: low and near-saturation load for the paper's default protocol, a
+#: dynamic-fault storm, the two comparison protocols, and two
+#: ultra-low-load long-horizon workloads where the quiescence
+#: fast-forward dominates (most cycles have nothing in flight).
 WORKLOADS = (
-    ("tp-low", "tp", {"k_unsafe": 0}, 0.10, 0),
-    ("tp-high", "tp", {"k_unsafe": 0}, 0.28, 0),
-    ("tp-dynamic-faults", "tp", {"k_unsafe": 0}, 0.10, 2),
-    ("dp-low", "dp", {}, 0.10, 0),
-    ("mb-low", "mb", {}, 0.10, 0),
+    ("tp-low", "tp", {"k_unsafe": 0}, 0.10, 0, {}),
+    ("tp-high", "tp", {"k_unsafe": 0}, 0.28, 0, {}),
+    ("tp-dynamic-faults", "tp", {"k_unsafe": 0}, 0.10, 2, {}),
+    ("dp-low", "dp", {}, 0.10, 0, {}),
+    ("mb-low", "mb", {}, 0.10, 0, {}),
+    ("tp-idle-long", "tp", {"k_unsafe": 0}, 0.002, 0,
+     {"warmup_cycles": 2000, "measure_cycles": 60_000,
+      "drain_cycles": 4000}),
+    ("tp-idle-faults", "tp", {"k_unsafe": 0}, 0.002, 2,
+     {"warmup_cycles": 2000, "measure_cycles": 60_000,
+      "drain_cycles": 4000}),
 )
 
 
 def run_matrix():
     scale = experiment_scale()
     rows = []
-    for name, protocol, params, load, dynamic in WORKLOADS:
+    for name, protocol, params, load, dynamic, overrides in WORKLOADS:
         cfg = base_config(scale, protocol, params,
-                          offered_load=load, seed=42)
+                          offered_load=load, seed=42, **overrides)
         if dynamic:
             cfg = cfg.with_(faults=FaultConfig(
-                dynamic_faults=dynamic, dynamic_start=scale.warmup,
+                dynamic_faults=dynamic, dynamic_start=cfg.warmup_cycles,
             ))
         sim = NetworkSimulator(cfg)
         start = time.perf_counter()

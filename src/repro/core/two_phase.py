@@ -41,8 +41,7 @@ from __future__ import annotations
 from repro.core import detour as detour_rules
 from repro.core.flow_control import FlowControlConfig
 from repro.routing.base import WAIT, Action, Decision, RoutingContext
-from repro.routing.dimension_order import deterministic_route
-from repro.routing.selection import adaptive_candidate, misroute_ports
+from repro.routing.selection import adaptive_candidate
 from repro.sim.message import Message, TPMode
 
 #: Misroute budget of the detour search; 6 guarantees delivery with up
@@ -103,10 +102,9 @@ class TwoPhaseProtocol:
             )
 
         # 2. Safe deterministic channel: take it, or block while busy.
-        det = deterministic_route(ctx.topology, node, dst)
+        det = ctx.cache.escape(node, dst)
         assert det is not None, "decide() must not be called at destination"
-        dim, direction, vclass = det
-        det_ch = ctx.topology.channel_id(node, dim, direction)
+        dim, direction, vclass, det_ch = det
         det_faulty = ctx.faults.channel_faulty[det_ch]
         det_unsafe = ctx.faults.channel_unsafe[det_ch]
         if not det_faulty and not det_unsafe:
@@ -159,7 +157,6 @@ class TwoPhaseProtocol:
         if ctx.cycle < message.retry_wait:
             return WAIT
 
-        topo = ctx.topology
         node = message.current_node()
         dst = message.dst
         j = message.header_router
@@ -172,16 +169,17 @@ class TwoPhaseProtocol:
         # own channels.  The history store's role in hardware.  The
         # deliberate U-turn below is the single exception.
         on_path = set(message.path_nodes)
+        free_adaptive = ctx.channels.free_adaptive
 
         # Profitable over any adaptive channel, safety ignored.
-        for dim, direction in topo.profitable_ports(node, dst):
-            ch = topo.channel_id(node, dim, direction)
-            if ctx.faults.channel_faulty[ch] or ch in tried:
+        for dim, direction, ch, next_node in ctx.cache.adaptive_candidates(
+            node, dst, None
+        ):
+            if ch in tried:
                 continue
-            next_node = topo.channel(ch).dst
             if next_node in on_path and next_node != dst:
                 continue
-            vc = ctx.channels.free_adaptive(ch)
+            vc = free_adaptive(ch)
             if vc is not None:
                 return Decision(
                     action=Action.RESERVE, vc=vc, port=(dim, direction),
@@ -193,20 +191,20 @@ class TwoPhaseProtocol:
         # route using the virtual channels in the opposite direction").
         if message.header.misroutes < self.misroute_limit:
             arrival = message.arrival_dims[j]
-            for dim, direction in misroute_ports(
-                ctx, node, dst, arrival, allow_u_turn=not can_backtrack
+            for dim, direction, ch, next_node in (
+                ctx.cache.misroute_candidates(
+                    node, dst, arrival, allow_u_turn=not can_backtrack
+                )
             ):
-                ch = topo.channel_id(node, dim, direction)
                 if ch in tried:
                     continue
-                next_node = topo.channel(ch).dst
                 is_u_turn = (
                     arrival is not None
                     and (dim, direction) == (arrival[0], -arrival[1])
                 )
                 if next_node in on_path and not is_u_turn:
                     continue
-                vc = ctx.channels.free_adaptive(ch)
+                vc = free_adaptive(ch)
                 if vc is not None:
                     return Decision(
                         action=Action.RESERVE, vc=vc, port=(dim, direction),

@@ -105,6 +105,24 @@ class ChaosController:
         self.triggers_hit: List[str] = []
         self._next = 0
 
+    def next_event_cycle(self, engine) -> Optional[int]:
+        """First future cycle at which :meth:`__call__` might act.
+
+        The engine's fast-forward contract: on a quiescent network,
+        calling this hook at any cycle before the returned one is a
+        pure no-op (``None`` = the hook is spent).  Before a burst's
+        due cycle the hook returns immediately; at the due cycle with
+        no active messages there are no vulnerable targets, so the
+        burst is held until the patience deadline — the next cycle the
+        hook acts regardless of network state.
+        """
+        if self._next >= len(self.burst_cycles):
+            return None
+        due = self.burst_cycles[self._next]
+        if engine.cycle < due:
+            return due
+        return due + self.patience
+
     def __call__(self, engine) -> None:
         if self._next >= len(self.burst_cycles):
             return

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.faults.model import FaultState
 from repro.network.topology import KAryNCube
@@ -157,6 +157,17 @@ class DynamicFaultSchedule:
         return self._cursor < len(self.events) and (
             self.events[self._cursor].cycle <= cycle
         )
+
+    def next_cycle(self) -> Optional[int]:
+        """Cycle of the next unconsumed event, or ``None`` when spent.
+
+        Events are time-ordered, so this is the schedule's event
+        horizon: no dynamic fault can strike before it.  The engine's
+        fast-forward path uses it to bound how far the clock may jump.
+        """
+        if self._cursor < len(self.events):
+            return self.events[self._cursor].cycle
+        return None
 
     @property
     def remaining(self) -> int:

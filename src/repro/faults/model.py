@@ -40,6 +40,10 @@ class FaultState:
         #: Channels whose fault status changed in the most recent
         #: update; the engine uses this to find interrupted messages.
         self.last_failed_channels: List[int] = []
+        #: Monotonic fault epoch, bumped whenever the faulty/unsafe
+        #: designations change (including placement rollbacks).  Route
+        #: caches key their fault-dependent entries on this counter.
+        self.epoch: int = 0
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -96,7 +100,11 @@ class FaultState:
         A healthy channel ``u -> v`` is unsafe iff its head node ``v``
         has at least one faulty incident channel — i.e. continuing past
         ``v`` may run into the failed component.
+
+        Every mutation of the fault sets funnels through here, so this
+        is also the single point that advances the fault epoch.
         """
+        self.epoch += 1
         topo = self.topology
         at_risk = [False] * topo.num_nodes
         for ch_id, faulty in enumerate(self.channel_faulty):

@@ -29,6 +29,7 @@ from repro.core.flow_control import FlowControlConfig
 from repro.faults.model import FaultState
 from repro.network.channel import ChannelBank, VirtualChannel
 from repro.network.topology import KAryNCube
+from repro.routing.cache import RouteCache
 from repro.sim.message import Message
 
 
@@ -63,14 +64,20 @@ WAIT = Decision(action=Action.WAIT)
 class RoutingContext:
     """Read-only view of the network handed to routing decisions."""
 
-    __slots__ = ("topology", "faults", "channels", "cycle")
+    __slots__ = ("topology", "faults", "channels", "cycle", "cache")
 
     def __init__(self, topology: KAryNCube, faults: FaultState,
-                 channels: ChannelBank, cycle: int = 0):
+                 channels: ChannelBank, cycle: int = 0,
+                 cache: Optional[RouteCache] = None):
         self.topology = topology
         self.faults = faults
         self.channels = channels
         self.cycle = cycle
+        #: Fault-epoch-keyed memo of routing candidate sets shared by
+        #: every decision made against this context.
+        self.cache = cache if cache is not None else RouteCache(
+            topology, faults
+        )
 
 
 class RoutingProtocol(Protocol):

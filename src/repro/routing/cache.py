@@ -1,0 +1,164 @@
+"""Memoized routing candidate sets, invalidated by fault epoch.
+
+The routing functions of every protocol enumerate the same candidate
+sets over and over: the profitable ports of ``(node, dst)`` filtered by
+fault status and safety designation, the dimension-order escape hop,
+and the Theorem 2 misroute ordering.  All of these depend only on the
+immutable topology and on the fault state — *not* on virtual-channel
+occupancy, which the selection functions check live — so a blocked
+header re-evaluated for hundreds of cycles recomputes identical lists.
+
+:class:`RouteCache` memoizes them per (router, destination, phase)
+where "phase" is the safety filter / misroute context, and keys the
+fault-dependent caches on :attr:`FaultState.epoch`: any fault or
+unsafe-marking event bumps the epoch (``FaultState._recompute_unsafe``
+is the single funnel point) and the next lookup drops every stale
+entry.  The dimension-order escape route is a pure function of the
+topology and is cached forever.
+
+Entries are tuples of ``(dim, direction, channel_id, next_node)`` so
+protocol hot loops avoid the ``channel_id``/``channel`` lookups too.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.model import FaultState
+from repro.network.channel import VCClass
+from repro.network.topology import KAryNCube
+from repro.routing.dimension_order import deterministic_route
+
+#: One candidate hop: (dim, direction, channel_id, next_node).
+Candidate = Tuple[int, int, int, int]
+#: Escape hop: (dim, direction, vclass, channel_id).
+Escape = Tuple[int, int, VCClass, int]
+
+
+class RouteCache:
+    """Epoch-checked memo of fault-filtered routing candidate sets."""
+
+    __slots__ = ("topology", "faults", "_epoch", "_adaptive", "_misroute",
+                 "_escape")
+
+    def __init__(self, topology: KAryNCube, faults: FaultState):
+        self.topology = topology
+        self.faults = faults
+        self._epoch = faults.epoch
+        #: (node, dst, require_safe) -> tuple of Candidate.
+        self._adaptive: Dict[Tuple[int, int, Optional[bool]],
+                             Tuple[Candidate, ...]] = {}
+        #: (node, dst, arrival, allow_u_turn) -> tuple of Candidate.
+        self._misroute: Dict[tuple, Tuple[Candidate, ...]] = {}
+        #: (node, dst) -> Escape or None; fault-independent, never cleared.
+        self._escape: Dict[Tuple[int, int], Optional[Escape]] = {}
+
+    def _sync(self) -> None:
+        epoch = self.faults.epoch
+        if epoch != self._epoch:
+            self._epoch = epoch
+            self._adaptive.clear()
+            self._misroute.clear()
+
+    # ------------------------------------------------------------------
+    def adaptive_candidates(
+        self, node: int, dst: int, require_safe: Optional[bool]
+    ) -> Tuple[Candidate, ...]:
+        """Profitable ports passing the fault/safety filter, in order.
+
+        ``require_safe`` is the phase key: ``True`` admits only safe
+        channels, ``False`` only unsafe ones, ``None`` ignores the
+        designation.  Virtual-channel occupancy is deliberately *not*
+        part of the entry — callers check free VCs live.
+        """
+        self._sync()
+        key = (node, dst, require_safe)
+        cached = self._adaptive.get(key)
+        if cached is None:
+            topo = self.topology
+            faulty = self.faults.channel_faulty
+            unsafe = self.faults.channel_unsafe
+            out: List[Candidate] = []
+            for dim, direction in topo.profitable_ports(node, dst):
+                ch = topo.channel_id(node, dim, direction)
+                if faulty[ch]:
+                    continue
+                if require_safe is True and unsafe[ch]:
+                    continue
+                if require_safe is False and not unsafe[ch]:
+                    continue
+                out.append((dim, direction, ch, topo.channel(ch).dst))
+            cached = tuple(out)
+            self._adaptive[key] = cached
+        return cached
+
+    def misroute_candidates(
+        self,
+        node: int,
+        dst: int,
+        arrival: Optional[Tuple[int, int]],
+        allow_u_turn: bool,
+    ) -> Tuple[Candidate, ...]:
+        """Healthy unprofitable ports in the Theorem 2 preference order.
+
+        Premise (iii) of Theorem 2: when misrouting, prefer an output
+        channel in the *same dimension* as the input channel.  The
+        reverse of the arrival port (a U-turn) is appended last and
+        only when ``allow_u_turn``.
+        """
+        self._sync()
+        key = (node, dst, arrival, allow_u_turn)
+        cached = self._misroute.get(key)
+        if cached is None:
+            topo = self.topology
+            faulty = self.faults.channel_faulty
+            reverse = None
+            if arrival is not None:
+                reverse = (arrival[0], -arrival[1])
+            same_dim: List[Candidate] = []
+            other: List[Candidate] = []
+            for dim, direction in topo.ports(node):
+                if topo.is_profitable(node, dst, dim, direction):
+                    continue
+                if (dim, direction) == reverse:
+                    continue
+                ch = topo.channel_id(node, dim, direction)
+                if faulty[ch]:
+                    continue
+                entry = (dim, direction, ch, topo.channel(ch).dst)
+                if arrival is not None and dim == arrival[0]:
+                    same_dim.append(entry)
+                else:
+                    other.append(entry)
+            out = same_dim + other
+            if allow_u_turn and reverse is not None:
+                ch = topo.channel_id(node, reverse[0], reverse[1])
+                if not faulty[ch]:
+                    out.append(
+                        (reverse[0], reverse[1], ch, topo.channel(ch).dst)
+                    )
+            cached = tuple(out)
+            self._misroute[key] = cached
+        return cached
+
+    def escape(self, node: int, dst: int) -> Optional[Escape]:
+        """The dimension-order escape hop with its dateline class.
+
+        A pure function of the topology (fault status of the escape
+        channel is the caller's concern), so entries survive epoch
+        bumps.
+        """
+        key = (node, dst)
+        try:
+            return self._escape[key]
+        except KeyError:
+            det = deterministic_route(self.topology, node, dst)
+            entry: Optional[Escape] = None
+            if det is not None:
+                dim, direction, vclass = det
+                entry = (
+                    dim, direction, vclass,
+                    self.topology.channel_id(node, dim, direction),
+                )
+            self._escape[key] = entry
+            return entry

@@ -26,7 +26,6 @@ from repro.routing.base import (
     Decision,
     RoutingContext,
 )
-from repro.routing.dimension_order import deterministic_route
 from repro.routing.selection import adaptive_candidate
 from repro.sim.message import Message
 
@@ -57,10 +56,9 @@ class DuatoProtocol:
             )
 
         # Restricted partition: the dimension-order escape channel.
-        det = deterministic_route(ctx.topology, node, dst)
+        det = ctx.cache.escape(node, dst)
         assert det is not None, "decide() must not be called at destination"
-        dim, direction, vclass = det
-        ch = ctx.topology.channel_id(node, dim, direction)
+        dim, direction, vclass, ch = det
         if ctx.faults.channel_faulty[ch]:
             # A wormhole header cannot retreat; the message is stuck.
             return Decision(

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from repro.core.flow_control import FlowControlConfig
 from repro.routing.base import WAIT, Action, Decision, RoutingContext
-from repro.routing.selection import free_vc_any_class, misroute_ports
+from repro.routing.selection import free_vc_any_class
 from repro.sim.message import Message
 
 #: Default misroute budget; Theorem 2 shows 6 suffices to search every
@@ -53,7 +53,6 @@ class MBmProtocol:
         if ctx.cycle < message.retry_wait:
             return WAIT
 
-        topo = ctx.topology
         node = message.current_node()
         dst = message.dst
         j = message.header_router
@@ -64,11 +63,12 @@ class MBmProtocol:
         on_path = set(message.path_nodes)
 
         # Profitable, healthy, not-yet-searched channels with a free VC.
-        for dim, direction in topo.profitable_ports(node, dst):
-            ch = topo.channel_id(node, dim, direction)
-            if ctx.faults.channel_faulty[ch] or ch in tried:
+        for dim, direction, ch, next_node in ctx.cache.adaptive_candidates(
+            node, dst, None
+        ):
+            if ch in tried:
                 continue
-            if topo.channel(ch).dst in on_path:
+            if next_node in on_path:
                 continue
             vc = free_vc_any_class(ctx, ch)
             if vc is not None:
@@ -80,13 +80,14 @@ class MBmProtocol:
         # budget allows; U-turns are not taken — MB-m backtracks instead.
         if message.header.misroutes < self.misroute_limit:
             arrival = message.arrival_dims[j]
-            for dim, direction in misroute_ports(
-                ctx, node, dst, arrival, allow_u_turn=False
+            for dim, direction, ch, next_node in (
+                ctx.cache.misroute_candidates(
+                    node, dst, arrival, allow_u_turn=False
+                )
             ):
-                ch = topo.channel_id(node, dim, direction)
                 if ch in tried:
                     continue
-                if topo.channel(ch).dst in on_path:
+                if next_node in on_path:
                     continue
                 vc = free_vc_any_class(ctx, ch)
                 if vc is not None:

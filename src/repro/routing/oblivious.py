@@ -29,7 +29,6 @@ from __future__ import annotations
 from repro.core.flow_control import FlowControlConfig, FlowControlKind
 from repro.network.channel import VCClass
 from repro.routing.base import WAIT, Action, Decision, RoutingContext
-from repro.routing.dimension_order import deterministic_route
 from repro.sim.message import Message
 
 
@@ -61,12 +60,11 @@ class DimensionOrderProtocol:
 
     def decide(self, ctx: RoutingContext, message: Message) -> Decision:
         node = message.current_node()
-        det = deterministic_route(ctx.topology, node, message.dst)
+        det = ctx.cache.escape(node, message.dst)
         assert det is not None, "decide() must not be called at destination"
-        dim, direction, vclass = det
+        dim, direction, vclass, ch = det
         if not self.dateline:
             vclass = VCClass.DETERMINISTIC_0  # naive: cycle NOT broken
-        ch = ctx.topology.channel_id(node, dim, direction)
         if ctx.faults.channel_faulty[ch]:
             return Decision(
                 action=Action.ABORT,

@@ -26,19 +26,16 @@ def adaptive_candidate(
     ``require_safe`` filters on the unsafe-channel designation:
     ``True`` admits only safe channels, ``False`` only unsafe ones,
     ``None`` ignores the designation (the fault-free DP baseline has no
-    unsafe store).  Faulty channels are never candidates.
+    unsafe store).  Faulty channels are never candidates.  The
+    fault-filtered port enumeration comes from the context's
+    :class:`~repro.routing.cache.RouteCache`; only the free-VC check
+    runs live.
     """
-    topo = ctx.topology
-    faults = ctx.faults
-    for dim, direction in topo.profitable_ports(node, dst):
-        ch = topo.channel_id(node, dim, direction)
-        if faults.channel_faulty[ch]:
-            continue
-        if require_safe is True and faults.channel_unsafe[ch]:
-            continue
-        if require_safe is False and not faults.channel_unsafe[ch]:
-            continue
-        vc = ctx.channels.free_adaptive(ch)
+    free_adaptive = ctx.channels.free_adaptive
+    for dim, direction, ch, _ in ctx.cache.adaptive_candidates(
+        node, dst, require_safe
+    ):
+        vc = free_adaptive(ch)
         if vc is not None:
             return (dim, direction, vc)
     return None
@@ -81,26 +78,9 @@ def misroute_ports(
     ``allow_u_turn`` — the aggressive TP variant turns around inside an
     alley instead of backtracking.
     """
-    topo = ctx.topology
-    reverse = None
-    if arrival is not None:
-        reverse = (arrival[0], -arrival[1])
-    same_dim: List[Tuple[int, int]] = []
-    other: List[Tuple[int, int]] = []
-    for dim, direction in topo.ports(node):
-        if topo.is_profitable(node, dst, dim, direction):
-            continue
-        if (dim, direction) == reverse:
-            continue
-        if not port_usable(ctx, node, dim, direction):
-            continue
-        if arrival is not None and dim == arrival[0]:
-            same_dim.append((dim, direction))
-        else:
-            other.append((dim, direction))
-    ports = same_dim + other
-    if allow_u_turn and reverse is not None and port_usable(
-        ctx, node, reverse[0], reverse[1]
-    ):
-        ports.append(reverse)
-    return ports
+    return [
+        (dim, direction)
+        for dim, direction, _, _ in ctx.cache.misroute_candidates(
+            node, dst, arrival, allow_u_turn
+        )
+    ]

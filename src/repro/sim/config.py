@@ -117,6 +117,15 @@ class SimulationConfig:
     # Run control.
     warmup_cycles: int = 1000
     measure_cycles: int = 4000
+    #: Event-horizon fast-forward: when the network is quiescent
+    #: (nothing in flight anywhere), jump the clock to just before the
+    #: next cycle at which state can change — the next possible
+    #: injection, armed dynamic fault, invariant-audit tick, or hook
+    #: event.  Results are cycle-for-cycle and RNG-stream identical to
+    #: the cycle-by-cycle path (pinned by tests/sim/test_determinism.py);
+    #: disable only when instrumenting every cycle with a hook that does
+    #: not declare its next event (see DESIGN.md §8).
+    fast_forward: bool = True
     #: After measurement, keep cycling (no new traffic) until in-flight
     #: messages finish, up to this many extra cycles.
     drain_cycles: int = 4000

@@ -23,6 +23,24 @@ Every cycle advances the network through five phases:
    cycle over the PE link) and injection share this phase.
 5. **Traffic** — Bernoulli message generation with the 8-message
    injection-buffer congestion control, plus launch of queued headers.
+   The per-node-per-cycle Bernoulli trials (probability
+   ``offered_load / message_length``) are realized by inversion-method
+   geometric gap sampling over the flat (cycle, node) trial sequence:
+   one uniform draw yields the number of failed trials before the next
+   success, so a cycle with no injection costs O(1) and the quiescence
+   fast-forward below can jump over whole idle stretches while
+   consuming the RNG identically.
+
+Quiescence fast-forward: when nothing at all is in flight — no active
+or pending message, no busy injection queue, no control/ack token, no
+staged gate update — no phase can change state until an external event.
+:meth:`Engine.run` then jumps the clock to just before the *event
+horizon*: the earliest of the next possible injection (known exactly
+from the geometric gap), the next armed dynamic fault, the next
+invariant-audit tick, and the hook's declared next event.  The jump is
+cycle-for-cycle and RNG-stream identical to stepping each cycle
+(``tests/sim/test_determinism.py`` pins both paths against each other);
+``SimulationConfig.fast_forward`` turns it off.
 
 Timing convention: a flit or token that arrives at a router at the end
 of cycle *t* may move again during cycle *t+1*; a routing decision and
@@ -43,6 +61,7 @@ parallel campaign runner guarantee serial-equivalent results.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
@@ -246,6 +265,24 @@ class Engine:
         self._measuring_to = config.total_cycles
         self._progress = False
         self._idle_streak = 0
+        self._ff_enabled = config.fast_forward
+        #: Cycles skipped by the quiescence fast-forward (diagnostics
+        #: only — deliberately not part of RunResult, which must stay
+        #: byte-identical with fast-forward on and off).
+        self.fast_forwarded_cycles = 0
+        #: Bernoulli injection, geometric form: probability per
+        #: (node, cycle) trial, and the number of failed trials left
+        #: before the next success in the flat cycle-major node-minor
+        #: trial sequence (inversion method; see ``_draw_gap``).
+        self._inj_p = (
+            config.offered_load / config.message_length
+            if config.offered_load > 0 else 0.0
+        )
+        self._inj_log_q = (
+            math.log(1.0 - self._inj_p)
+            if 0.0 < self._inj_p < 1.0 else None
+        )
+        self._inj_gap = self._draw_gap() if self._inj_p > 0 else 0
         #: Per-cycle scratch: node -> {msg_id: Message} ready to eject.
         self._eject_ready: Dict[int, Dict[int, Message]] = {}
         #: Gate-state updates from control flits arriving this cycle;
@@ -267,22 +304,132 @@ class Engine:
     # ==================================================================
     # Public API
     # ==================================================================
-    def run(self, cycles: int) -> None:
-        """Advance the simulation by ``cycles`` cycles."""
-        for _ in range(cycles):
+    def run(self, cycles: int, on_cycle=None) -> None:
+        """Advance the simulation by ``cycles`` cycles.
+
+        ``on_cycle(engine)``, when given, is invoked after every
+        executed cycle.  A hook that exposes a
+        ``next_event_cycle(engine) -> Optional[int]`` method declares
+        that calling it before that cycle is a pure no-op on a
+        quiescent network (``None`` = never again); the fast-forward
+        path then skips those calls along with the cycles.  A hook
+        without the declaration disables fast-forward for this run —
+        correctness over speed for arbitrary instrumentation.
+        """
+        target = self.cycle + cycles
+        hook_horizon = None
+        fast = self._ff_enabled
+        if on_cycle is not None:
+            hook_horizon = getattr(on_cycle, "next_event_cycle", None)
+            if hook_horizon is None:
+                fast = False
+        if not fast:
+            while self.cycle < target:
+                self.step()
+                if on_cycle is not None:
+                    on_cycle(self)
+            return
+        while self.cycle < target:
+            if self._quiescent():
+                limit = target
+                if hook_horizon is not None:
+                    horizon = hook_horizon(self)
+                    if horizon is not None and horizon - 1 < limit:
+                        limit = horizon - 1
+                self._fast_forward(limit)
+                if self.cycle >= target:
+                    break
             self.step()
+            if on_cycle is not None:
+                on_cycle(self)
 
     def drain(self, max_cycles: int) -> bool:
         """Stop traffic and run until in-flight messages finish.
 
         Returns True when the network fully drained within the budget.
+        With traffic disabled a quiescent network satisfies the drained
+        condition, so the fast-forward path never applies here — the
+        loop exits at the first drained cycle instead of jumping.
         """
         self.traffic_enabled = False
-        for _ in range(max_cycles):
+        target = self.cycle + max_cycles
+        while self.cycle < target:
             if not self.active and not any(self.queues):
                 return True
             self.step()
         return not self.active and not any(self.queues)
+
+    def _quiescent(self) -> bool:
+        """Nothing in flight anywhere: no phase can change state.
+
+        Holds when there is no active or pending message, no injection
+        queue with content, no control or ack token traveling, and no
+        staged gate update.  Until the next injection success, dynamic
+        fault, audit tick, or hook event, every cycle is then a no-op
+        apart from the injection-gap bookkeeping.
+        """
+        return (
+            not self.active
+            and not self.pending
+            and not self._busy_queues
+            and not self._active_ctrl
+            and not self._active_ack
+            and not self._staged_acks
+            and not self._staged_path
+        )
+
+    def _fast_forward(self, limit: int) -> None:
+        """From a quiescent state, jump to just before the event horizon.
+
+        The horizon is the earliest of ``limit`` (the run target or the
+        hook's declared next event), the next armed dynamic fault, the
+        next invariant-audit tick, and the next injection success —
+        computed exactly from the geometric injection gap, which is
+        decremented by the skipped trials so the RNG stream continues
+        precisely where the cycle-by-cycle path would have left it.
+        The first cycle that can change state is then executed by the
+        ordinary :meth:`step`.
+        """
+        stop = limit
+        if self.dynamic_schedule is not None:
+            nxt = self.dynamic_schedule.next_cycle()
+            if nxt is not None and nxt - 1 < stop:
+                stop = nxt - 1
+        if self.auditor is not None:
+            tick = self.auditor.next_audit_cycle(self.cycle) - 1
+            if tick < stop:
+                stop = tick
+        skip = stop - self.cycle
+        if skip <= 0:
+            return
+        if self.traffic_enabled and self._inj_p > 0:
+            num_healthy = len(self.traffic.healthy_nodes)
+            if num_healthy:
+                idle_cycles = self._inj_gap // num_healthy
+                if idle_cycles < skip:
+                    skip = idle_cycles
+                if skip <= 0:
+                    return
+                self._inj_gap -= skip * num_healthy
+        self.cycle += skip
+        self.ctx.cycle = self.cycle
+        self.fast_forwarded_cycles += skip
+
+    def _draw_gap(self) -> int:
+        """Failed Bernoulli trials before the next injection success.
+
+        Inversion method: for ``U`` uniform on [0, 1),
+        ``floor(log(1 - U) / log(1 - p))`` is geometrically distributed
+        with ``P(G = g) = (1 - p)^g * p`` — exactly the distribution of
+        the number of failures preceding the next success in an i.i.d.
+        Bernoulli(p) trial sequence.  One uniform draw per success
+        replaces one draw per trial.
+        """
+        if self._inj_log_q is None:  # p >= 1: every trial succeeds
+            return 0
+        return int(
+            math.log(1.0 - self.rng.random()) / self._inj_log_q
+        )
 
     def step(self) -> None:
         """Advance one cycle through the five phases."""
@@ -1222,34 +1369,45 @@ class Engine:
     # ==================================================================
     def _phase_traffic(self) -> None:
         cfg = self.config
-        if self.traffic_enabled and cfg.offered_load > 0:
-            length = cfg.message_length
-            limit = cfg.injection_queue_limit
-            p_msg = cfg.offered_load / length
-            measuring = self.in_measure_window()
-            rand = self.rng.random
-            queues = self.queues
-            busy_queues = self._busy_queues
-            destination = self.traffic.destination
-            cycle = self.cycle
-            for node in self.traffic.healthy_nodes:
-                if rand() >= p_msg:
-                    continue
-                dst = destination(node)
-                if dst is None:
-                    continue
-                self.offered_messages += 1
-                if measuring:
-                    self.measured_offered_flits += length
-                queue = queues[node]
-                if len(queue) >= limit:
-                    self.rejected_messages += 1
-                    continue
-                self.accepted_messages += 1
-                if measuring:
-                    self.measured_accepted_flits += length
-                queue.append(self._new_message(node, dst, cycle))
-                busy_queues.add(node)
+        if self.traffic_enabled and self._inj_p > 0:
+            healthy = self.traffic.healthy_nodes
+            num_healthy = len(healthy)
+            gap = self._inj_gap
+            if not num_healthy:
+                pass  # no trial slots this cycle; the gap is frozen
+            elif gap >= num_healthy:
+                # Every trial of this cycle fails: consume the cycle's
+                # slots from the gap and do nothing else — the common
+                # case at low load, and what lets the fast-forward path
+                # skip whole idle stretches with one subtraction.
+                self._inj_gap = gap - num_healthy
+            else:
+                length = cfg.message_length
+                limit = cfg.injection_queue_limit
+                measuring = self.in_measure_window()
+                queues = self.queues
+                busy_queues = self._busy_queues
+                destination = self.traffic.destination
+                cycle = self.cycle
+                pos = gap  # index of the successful trial's node
+                while pos < num_healthy:
+                    node = healthy[pos]
+                    dst = destination(node)
+                    if dst is not None:
+                        self.offered_messages += 1
+                        if measuring:
+                            self.measured_offered_flits += length
+                        queue = queues[node]
+                        if len(queue) >= limit:
+                            self.rejected_messages += 1
+                        else:
+                            self.accepted_messages += 1
+                            if measuring:
+                                self.measured_accepted_flits += length
+                            queue.append(self._new_message(node, dst, cycle))
+                            busy_queues.add(node)
+                    pos += 1 + self._draw_gap()
+                self._inj_gap = pos - num_healthy
 
         # Launch / advance injection queues.  Only nodes in the busy
         # set can hold a non-empty queue; ascending order matches the

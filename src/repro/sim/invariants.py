@@ -78,6 +78,17 @@ class InvariantAuditor:
         self.checks_run = 0
         self.violations_found = 0
 
+    def next_audit_cycle(self, cycle: int) -> int:
+        """First cycle strictly after ``cycle`` at which an audit runs.
+
+        The audit tick is part of the engine's event horizon: the
+        fast-forward path must not jump past it, or ``checks_run`` (and
+        any violation it would have caught) would diverge from the
+        cycle-by-cycle run.
+        """
+        every = self.engine.config.resilience.audit_every
+        return (cycle // every + 1) * every
+
     def audit(self) -> List[InvariantViolation]:
         """Run every check; returns (and counts) all violations found."""
         self.checks_run += 1

@@ -116,18 +116,17 @@ class NetworkSimulator:
     def run(self, on_cycle=None) -> RunResult:
         """Warmup + measurement, then drain, then summarize.
 
-        ``on_cycle(engine)``, when given, is invoked after every cycle
-        of the warmup+measurement phase (not the drain).  The chaos
-        harness uses it to watch live state and inject fault bursts at
-        adversarial moments; tracing and custom instrumentation fit the
-        same hook.
+        ``on_cycle(engine)``, when given, is invoked after every
+        executed cycle of the warmup+measurement phase (not the
+        drain).  The chaos harness uses it to watch live state and
+        inject fault bursts at adversarial moments; tracing and custom
+        instrumentation fit the same hook.  A hook that declares
+        ``next_event_cycle(engine)`` keeps the quiescence fast-forward
+        enabled (skipped cycles are provably no-ops for it); any other
+        hook falls back to cycle-by-cycle execution — see
+        :meth:`repro.sim.engine.Engine.run`.
         """
-        if on_cycle is None:
-            self.engine.run(self.config.total_cycles)
-        else:
-            for _ in range(self.config.total_cycles):
-                self.engine.step()
-                on_cycle(self.engine)
+        self.engine.run(self.config.total_cycles, on_cycle=on_cycle)
         if self.config.drain_cycles:
             self.engine.drain(self.config.drain_cycles)
         return self.results()

@@ -14,7 +14,9 @@ torus stress patterns used by the extended benchmarks:
 
 Generators draw destinations only; injection timing is a Bernoulli
 process handled by the engine (one trial per node per cycle with
-probability ``offered_load / message_length``).
+probability ``offered_load / message_length``, realized by geometric
+gap sampling so idle cycles cost no draws — see
+:mod:`repro.sim.engine`).
 """
 
 from __future__ import annotations
@@ -48,11 +50,17 @@ class TrafficGenerator:
             else list(range(topology.num_nodes))
         )
         self._healthy_set = set(self._healthy)
+        self._healthy_pos = {
+            node: i for i, node in enumerate(self._healthy)
+        }
 
     def set_healthy_nodes(self, healthy_nodes: List[int]) -> None:
         """Restrict sources/destinations after fault placement."""
         self._healthy = list(healthy_nodes)
         self._healthy_set = set(self._healthy)
+        self._healthy_pos = {
+            node: i for i, node in enumerate(self._healthy)
+        }
 
     @property
     def healthy_nodes(self) -> List[int]:
@@ -74,13 +82,26 @@ class TrafficGenerator:
     def _raw_destination(self, src: int) -> Optional[int]:
         topo = self.topology
         if self.pattern == "uniform":
-            # Uniform over healthy nodes, excluding the source.
-            if len(self._healthy) < 2:
+            # Uniform over healthy nodes excluding the source, sampled
+            # directly: one ``randrange`` over the m-1 admissible
+            # positions, shifting indexes at or past the source's slot
+            # up by one.  Exactly one draw per destination — the old
+            # rejection loop consumed a geometrically distributed
+            # number of draws (see the determinism note in DESIGN.md §8
+            # for the resulting RNG-stream change).
+            healthy = self._healthy
+            m = len(healthy)
+            if m < 2:
                 return None
-            while True:
-                dst = self._healthy[self.rng.randrange(len(self._healthy))]
-                if dst != src:
-                    return dst
+            pos = self._healthy_pos.get(src)
+            if pos is None:
+                # Source not in the healthy set (direct calls from
+                # tests/tools): nothing to exclude.
+                return healthy[self.rng.randrange(m)]
+            i = self.rng.randrange(m - 1)
+            if i >= pos:
+                i += 1
+            return healthy[i]
         if self.pattern == "nearest":
             return topo.neighbor(src, 0, +1)
         if self.pattern == "transpose":

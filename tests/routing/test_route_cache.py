@@ -1,0 +1,106 @@
+"""RouteCache: memoized candidate sets and epoch invalidation."""
+
+from repro.faults.model import FaultState
+from repro.network.topology import KAryNCube
+from repro.routing.cache import RouteCache
+from repro.routing.dimension_order import deterministic_route
+
+
+def _setup(k=5, n=2):
+    topo = KAryNCube(k, n)
+    faults = FaultState(topo)
+    return topo, faults, RouteCache(topo, faults)
+
+
+def _fresh_adaptive(topo, faults, node, dst, require_safe):
+    """Reference computation, bypassing any cache."""
+    out = []
+    for dim, direction in topo.profitable_ports(node, dst):
+        ch = topo.channel_id(node, dim, direction)
+        if faults.channel_faulty[ch]:
+            continue
+        if require_safe is True and faults.channel_unsafe[ch]:
+            continue
+        if require_safe is False and not faults.channel_unsafe[ch]:
+            continue
+        out.append((dim, direction, ch, topo.channel(ch).dst))
+    return tuple(out)
+
+
+def test_adaptive_candidates_match_fresh_computation():
+    topo, faults, cache = _setup()
+    for require_safe in (None, True, False):
+        for dst in (7, 13, 24):
+            got = cache.adaptive_candidates(0, dst, require_safe)
+            assert got == _fresh_adaptive(topo, faults, 0, dst, require_safe)
+            # Second lookup hits the memo and must be the same object.
+            assert cache.adaptive_candidates(0, dst, require_safe) is got
+
+
+def test_epoch_bump_invalidates_fault_dependent_entries():
+    topo, faults, cache = _setup()
+    dst = 13
+    before = cache.adaptive_candidates(0, dst, None)
+    assert before  # there are profitable healthy ports initially
+
+    # Kill one of the cached candidate channels; the stale entry would
+    # still list it.
+    victim = before[0][2]
+    epoch0 = faults.epoch
+    faults.fail_link(victim)
+    assert faults.epoch > epoch0, "every fault mutation must bump epoch"
+
+    after = cache.adaptive_candidates(0, dst, None)
+    assert victim not in [ch for _, _, ch, _ in after]
+    assert after == _fresh_adaptive(topo, faults, 0, dst, None)
+
+
+def test_node_fault_and_unsafe_marking_invalidate():
+    topo, faults, cache = _setup()
+    dst = 13
+    cache.adaptive_candidates(0, dst, True)
+    epoch0 = faults.epoch
+    faults.fail_node(12)
+    assert faults.epoch > epoch0
+    # Safe-only view reflects the new unsafe designations immediately.
+    assert cache.adaptive_candidates(0, dst, True) == _fresh_adaptive(
+        topo, faults, 0, dst, True
+    )
+
+
+def test_misroute_candidates_theorem2_order():
+    topo, faults, cache = _setup()
+    node, dst = 0, 6  # both dimensions profitable
+    arrival = (0, +1)
+    out = cache.misroute_candidates(node, dst, arrival, allow_u_turn=True)
+    assert out, "torus routers always have unprofitable ports"
+    # No profitable ports, no faulty channels.
+    for dim, direction, ch, nxt in out:
+        assert not topo.is_profitable(node, dst, dim, direction)
+        assert not faults.channel_faulty[ch]
+        assert topo.channel(ch).dst == nxt
+    # Same-dimension misroutes come first (Theorem 2 premise iii) and
+    # the U-turn (reverse of arrival) comes last.
+    dims = [dim for dim, _, _, _ in out]
+    same = [i for i, d in enumerate(dims) if d == arrival[0]]
+    other = [i for i, d in enumerate(dims) if d != arrival[0]]
+    assert out[-1][:2] == (arrival[0], -arrival[1])
+    assert all(i < j for i in same[:-1] for j in other if i != len(out) - 1)
+    # Without permission there is no U-turn.
+    no_u = cache.misroute_candidates(node, dst, arrival, allow_u_turn=False)
+    assert (arrival[0], -arrival[1]) not in [c[:2] for c in no_u]
+
+
+def test_escape_cache_survives_epoch_bumps():
+    topo, faults, cache = _setup()
+    node, dst = 0, 13
+    first = cache.escape(node, dst)
+    det = deterministic_route(topo, node, dst)
+    assert det is not None and first is not None
+    assert first[:3] == det
+    assert first[3] == topo.channel_id(node, det[0], det[1])
+    faults.fail_node(24)
+    # Pure topology function: the identical memoized entry survives.
+    assert cache.escape(node, dst) is first
+    # Arrived-at-destination: no escape hop.
+    assert cache.escape(dst, dst) is None

@@ -13,18 +13,40 @@ The matrix covers every flow-control mechanism of the paper: wormhole
 (DP), scouting SR(K) (TP conservative), PCS (MB-m), TP aggressive, and
 plain dimension-order — plus a dynamic-fault scenario and a
 deadlock-recovery scenario, which exercise the teardown/kill machinery.
+
+Every pinned config additionally runs with the quiescence fast-forward
+forced on and forced off: the two paths must produce byte-identical
+RunResults (the event-horizon jump may only skip cycles that are
+provably no-ops), including under a chaos hook and composed through
+``parallel.run_configs``.
 """
 
 import dataclasses
+import random
 
 import pytest
 
-from repro.sim.config import FaultConfig, RecoveryConfig, SimulationConfig
+from repro.faults.chaos import ChaosController
+from repro.faults.injection import DynamicFaultSchedule
+from repro.sim.config import (
+    FaultConfig,
+    RecoveryConfig,
+    ResilienceConfig,
+    SimulationConfig,
+)
+from repro.sim.parallel import run_configs
 from repro.sim.simulator import NetworkSimulator
 
 
 def run_twice(cfg: SimulationConfig):
     return NetworkSimulator(cfg).run(), NetworkSimulator(cfg).run()
+
+
+def run_ff_pair(cfg: SimulationConfig):
+    """The same config with fast-forward forced on and forced off."""
+    on = NetworkSimulator(cfg.with_(fast_forward=True)).run()
+    off = NetworkSimulator(cfg.with_(fast_forward=False)).run()
+    return on, off
 
 
 def assert_identical(a, b):
@@ -49,18 +71,93 @@ PROTOCOL_MATRIX = [
 ]
 
 
+def _protocol_cfg(protocol, params):
+    return SimulationConfig(
+        k=6, n=2, protocol=protocol, protocol_params=params,
+        offered_load=0.10, message_length=8,
+        warmup_cycles=150, measure_cycles=600, drain_cycles=2000,
+        seed=17,
+    )
+
+
+def _static_fault_cfg():
+    return SimulationConfig(
+        k=6, n=2, protocol="tp", offered_load=0.08, message_length=8,
+        warmup_cycles=150, measure_cycles=600, drain_cycles=2000,
+        seed=9, faults=FaultConfig(static_node_faults=3),
+    )
+
+
+def _dynamic_fault_cfg():
+    return SimulationConfig(
+        k=6, n=2, protocol="tp", offered_load=0.08, message_length=8,
+        warmup_cycles=150, measure_cycles=800, drain_cycles=4000,
+        seed=19,
+        faults=FaultConfig(dynamic_faults=4, dynamic_start=150),
+        recovery=RecoveryConfig(tail_ack=True, retransmit=True),
+    )
+
+
+def _hardware_ack_cfg():
+    return SimulationConfig(
+        k=6, n=2, protocol="tp", protocol_params={"k_unsafe": 3},
+        offered_load=0.10, message_length=8, hardware_acks=True,
+        warmup_cycles=150, measure_cycles=600, drain_cycles=2000,
+        seed=21,
+    )
+
+
+def _deadlock_recovery_cfg():
+    return SimulationConfig(
+        k=6, n=2, protocol="det", protocol_params={"dateline": False},
+        offered_load=0.30, message_length=16,
+        warmup_cycles=100, measure_cycles=800, drain_cycles=8000,
+        seed=3, watchdog_cycles=120, max_header_wait=6000,
+    )
+
+
+def _low_load_idle_cfg():
+    # Mostly-quiescent run: the fast-forward path dominates here.
+    return SimulationConfig(
+        k=6, n=2, protocol="tp", offered_load=0.005, message_length=8,
+        warmup_cycles=300, measure_cycles=2500, drain_cycles=2000,
+        seed=5,
+    )
+
+
+def _audited_cfg():
+    # Invariant-audit ticks are part of the event horizon.
+    return SimulationConfig(
+        k=5, n=2, protocol="tp", offered_load=0.02, message_length=8,
+        warmup_cycles=150, measure_cycles=900, drain_cycles=2000,
+        seed=13,
+        resilience=ResilienceConfig(audit_invariants=True, audit_every=25),
+    )
+
+
+#: Every pinned configuration of this suite, by id; the fast-forward
+#: equivalence test runs each with the skip path forced on and off.
+PINNED_CONFIGS = {
+    **{
+        f"proto-{pid}": (lambda p=proto, kw=params: _protocol_cfg(p, kw))
+        for pid, proto, params in PROTOCOL_MATRIX
+    },
+    "static-faults": _static_fault_cfg,
+    "dynamic-faults": _dynamic_fault_cfg,
+    "hardware-acks": _hardware_ack_cfg,
+    "deadlock-recovery": _deadlock_recovery_cfg,
+    "low-load-idle": _low_load_idle_cfg,
+    "audited": _audited_cfg,
+}
+
+
 @pytest.mark.parametrize(
     "protocol,params",
     [m[1:] for m in PROTOCOL_MATRIX],
     ids=[m[0] for m in PROTOCOL_MATRIX],
 )
 def test_protocol_determinism(protocol, params):
-    cfg = SimulationConfig(
-        k=6, n=2, protocol=protocol, protocol_params=params,
-        offered_load=0.10, message_length=8,
-        warmup_cycles=150, measure_cycles=600, drain_cycles=2000,
-        seed=17,
-    )
+    cfg = _protocol_cfg(protocol, params)
     a, b = run_twice(cfg)
     assert a.delivered > 0
     assert_identical(a, b)
@@ -82,11 +179,7 @@ def test_seed_sensitivity_and_stability(seed):
 
 
 def test_static_fault_determinism():
-    cfg = SimulationConfig(
-        k=6, n=2, protocol="tp", offered_load=0.08, message_length=8,
-        warmup_cycles=150, measure_cycles=600, drain_cycles=2000,
-        seed=9, faults=FaultConfig(static_node_faults=3),
-    )
+    cfg = _static_fault_cfg()
     a, b = run_twice(cfg)
     assert a.delivered > 0
     assert_identical(a, b)
@@ -94,13 +187,7 @@ def test_static_fault_determinism():
 
 def test_dynamic_fault_determinism():
     """Dynamic faults drive kill-flit teardown and retransmission."""
-    cfg = SimulationConfig(
-        k=6, n=2, protocol="tp", offered_load=0.08, message_length=8,
-        warmup_cycles=150, measure_cycles=800, drain_cycles=4000,
-        seed=11,
-        faults=FaultConfig(dynamic_faults=4, dynamic_start=150),
-        recovery=RecoveryConfig(tail_ack=True, retransmit=True),
-    )
+    cfg = _dynamic_fault_cfg()
     a, b = run_twice(cfg)
     assert a.delivered > 0
     assert a.teardown_counts.get("fault", 0) > 0, (
@@ -111,12 +198,7 @@ def test_dynamic_fault_determinism():
 
 def test_hardware_ack_determinism():
     """The dedicated-ack wires use a separate active set in the engine."""
-    cfg = SimulationConfig(
-        k=6, n=2, protocol="tp", protocol_params={"k_unsafe": 3},
-        offered_load=0.10, message_length=8, hardware_acks=True,
-        warmup_cycles=150, measure_cycles=600, drain_cycles=2000,
-        seed=21,
-    )
+    cfg = _hardware_ack_cfg()
     a, b = run_twice(cfg)
     assert a.delivered > 0
     assert_identical(a, b)
@@ -124,15 +206,91 @@ def test_hardware_ack_determinism():
 
 def test_deadlock_recovery_determinism():
     """Victim selection and ejection order must replay exactly."""
-    cfg = SimulationConfig(
-        k=6, n=2, protocol="det", protocol_params={"dateline": False},
-        offered_load=0.30, message_length=16,
-        warmup_cycles=100, measure_cycles=800, drain_cycles=8000,
-        seed=3, watchdog_cycles=120, max_header_wait=6000,
-    )
+    cfg = _deadlock_recovery_cfg()
     a, b = run_twice(cfg)
     assert a.deadlock_recoveries > 0, (
         "gridlock scenario must actually trigger recovery"
     )
     assert a.deadlock_victims == b.deadlock_victims
     assert_identical(a, b)
+
+
+# ======================================================================
+# Quiescence fast-forward: forced on vs forced off must be identical.
+# ======================================================================
+@pytest.mark.parametrize("name", sorted(PINNED_CONFIGS))
+def test_fast_forward_on_off_identical(name):
+    """The event-horizon jump may only skip provably no-op cycles."""
+    on, off = run_ff_pair(PINNED_CONFIGS[name]())
+    assert_identical(on, off)
+
+
+def test_fast_forward_actually_skips_cycles():
+    """The low-load pinned config must exercise the skip path."""
+    sim = NetworkSimulator(_low_load_idle_cfg().with_(fast_forward=True))
+    sim.run()
+    assert sim.engine.fast_forwarded_cycles > 0
+
+
+def _chaos_hooked_run(fast_forward: bool):
+    """One chaos-hooked simulation; returns (RunResult, controller)."""
+    cfg = SimulationConfig(
+        k=6, n=2, protocol="tp", offered_load=0.05, message_length=8,
+        warmup_cycles=100, measure_cycles=600, drain_cycles=3000,
+        seed=7, watchdog_cycles=120, max_header_wait=6000,
+        resilience=ResilienceConfig(audit_invariants=True, audit_every=20),
+        fast_forward=fast_forward,
+    )
+    sim = NetworkSimulator(cfg)
+    engine = sim.engine
+    engine.dynamic_schedule = DynamicFaultSchedule()
+    controller = ChaosController(
+        engine.dynamic_schedule,
+        random.Random(4242),
+        burst_cycles=[250, 450],
+        burst_size=2,
+        node_fault_fraction=0.25,
+    )
+    result = sim.run(on_cycle=controller)
+    return result, controller
+
+
+def test_chaos_hook_fast_forward_identical():
+    """The chaos hook declares its next event; skipping must not change
+    which bursts fire, where, or what they hit."""
+    on_result, on_ctrl = _chaos_hooked_run(True)
+    off_result, off_ctrl = _chaos_hooked_run(False)
+    assert on_ctrl.faults_injected == off_ctrl.faults_injected
+    assert on_ctrl.triggers_hit == off_ctrl.triggers_hit
+    assert on_ctrl.faults_injected > 0, (
+        "scenario must actually inject chaos faults"
+    )
+    assert_identical(on_result, off_result)
+
+
+def test_undeclared_hook_disables_fast_forward():
+    """A hook without next_event_cycle sees every single cycle."""
+    cfg = _low_load_idle_cfg().with_(fast_forward=True)
+    sim = NetworkSimulator(cfg)
+    seen = []
+    sim.run(on_cycle=lambda engine: seen.append(engine.cycle))
+    assert seen == list(range(1, cfg.total_cycles + 1))
+    assert sim.engine.fast_forwarded_cycles == 0
+
+
+def test_parallel_run_configs_fast_forward_composition():
+    """parallel.run_configs composes with fast-forward: a parallel
+    fast-forwarded campaign equals a serial cycle-by-cycle one."""
+    base = SimulationConfig(
+        k=5, n=2, protocol="tp", offered_load=0.03, message_length=8,
+        warmup_cycles=100, measure_cycles=500, drain_cycles=1500,
+    )
+    seeds = (1, 2, 3)
+    on = run_configs(
+        [base.with_(seed=s, fast_forward=True) for s in seeds], jobs=2
+    )
+    off = run_configs(
+        [base.with_(seed=s, fast_forward=False) for s in seeds], jobs=1
+    )
+    for a, b in zip(on, off):
+        assert_identical(a, b)
