@@ -12,6 +12,11 @@ present in both files regressed by more than ``--threshold`` (default
 reported but ignored for the verdict, so adding or retiring a workload
 does not break the comparison.
 
+``--key`` selects which numeric field is compared (default
+``cycles_per_sec``).  Saturation snapshots from
+``repro.experiments.saturation`` share the same shape, so
+``--key knee_throughput`` diffs two ``BENCH_saturation.json`` files.
+
 CI runs this informationally against the committed snapshot (the
 numbers are machine-dependent, so it must not gate merges there); run
 it locally against a baseline produced on the same machine to validate
@@ -33,22 +38,23 @@ def load_rows(path: pathlib.Path) -> dict:
     return {row["workload"]: row for row in report["workloads"]}
 
 
-def compare(baseline: dict, current: dict, threshold: float):
+def compare(baseline: dict, current: dict, threshold: float,
+            key: str = "cycles_per_sec"):
     """Per-workload comparison rows plus the list of regressions.
 
     Returns ``(rows, regressions)``; each row is a dict with the
-    workload name, both cycles/sec figures (``None`` when the workload
+    workload name, both ``key`` figures (``None`` when the workload
     is missing on that side), and ``delta`` (relative change, ``None``
     unless present on both sides).  ``regressions`` lists the names
-    whose throughput dropped by more than ``threshold``.
+    whose figure dropped by more than ``threshold``.
     """
     rows: List[dict] = []
     regressions: List[str] = []
     for name in sorted(set(baseline) | set(current)):
         base = baseline.get(name)
         cur = current.get(name)
-        base_cps: Optional[float] = base and base["cycles_per_sec"]
-        cur_cps: Optional[float] = cur and cur["cycles_per_sec"]
+        base_cps: Optional[float] = base and base.get(key)
+        cur_cps: Optional[float] = cur and cur.get(key)
         delta: Optional[float] = None
         if base_cps and cur_cps:
             delta = (cur_cps - base_cps) / base_cps
@@ -63,6 +69,15 @@ def compare(baseline: dict, current: dict, threshold: float):
     return rows, regressions
 
 
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return f"{'-':>12}"
+    # Saturation keys are O(0.1) flits/node/cycle; cycles/sec are large.
+    if abs(value) < 100:
+        return f"{value:>12,.4f}"
+    return f"{value:>12,.0f}"
+
+
 def render(rows: List[dict], regressions: List[str],
            threshold: float) -> str:
     header = (
@@ -70,14 +85,8 @@ def render(rows: List[dict], regressions: List[str],
     )
     lines = [header, "-" * len(header)]
     for row in rows:
-        base = (
-            f"{row['baseline']:>12,.0f}" if row["baseline"] is not None
-            else f"{'-':>12}"
-        )
-        cur = (
-            f"{row['current']:>12,.0f}" if row["current"] is not None
-            else f"{'-':>12}"
-        )
+        base = _fmt(row["baseline"])
+        cur = _fmt(row["current"])
         if row["delta"] is None:
             delta = f"{'-':>8}"
         else:
@@ -107,9 +116,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--threshold", type=float, default=0.05,
         help="max tolerated relative throughput drop (default: 0.05)",
     )
+    parser.add_argument(
+        "--key", default="cycles_per_sec",
+        help=(
+            "numeric row field to compare (default: cycles_per_sec; "
+            "use knee_throughput for BENCH_saturation.json)"
+        ),
+    )
     args = parser.parse_args(argv)
     rows, regressions = compare(
-        load_rows(args.baseline), load_rows(args.current), args.threshold
+        load_rows(args.baseline), load_rows(args.current),
+        args.threshold, key=args.key,
     )
     print(render(rows, regressions, args.threshold))
     return 1 if regressions else 0

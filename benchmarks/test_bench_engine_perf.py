@@ -39,6 +39,15 @@ WORKLOADS = (
     ("tp-idle-faults", "tp", {"k_unsafe": 0}, 0.002, 2,
      {"warmup_cycles": 2000, "measure_cycles": 60_000,
       "drain_cycles": 4000}),
+    # Workload-catalog patterns: hotspot concentrates contention on a
+    # few routers; bursty alternates saturated ON windows with long
+    # quiescent OFF stretches the fast-forward should eat.
+    ("tp-hotspot", "tp", {"k_unsafe": 0}, 0.10, 0,
+     {"traffic": "hotspot",
+      "traffic_params": {"hotspot_fraction": 0.3, "hotspot_count": 4}}),
+    ("tp-bursty", "tp", {"k_unsafe": 0}, 0.06, 0,
+     {"traffic": "bursty",
+      "traffic_params": {"burst_on": 64, "burst_off": 192}}),
 )
 
 

@@ -13,12 +13,22 @@ Subcommands:
 Examples::
 
     repro-sim run --protocol tp --load 0.15 --faults 5
+    repro-sim run --pattern hotspot --pattern-param hotspot_fraction=0.3
     repro-sim figure 12
     REPRO_PAPER_SCALE=1 repro-sim figure 13
     repro-sim sweep --protocol mb --loads 0.05,0.1,0.2
     repro-sim sweep --protocol tp --jobs 4
+    repro-sim sweep --pattern transpose --find-knee
+    repro-sim sweep --pattern bursty --find-knee --knee-tol 0.01
     repro-sim chaos --seeds 20 --protocols tp,dp
-    REPRO_JOBS=8 repro-sim chaos --seeds 40
+    REPRO_JOBS=8 repro-sim chaos --seeds 40 --pattern hotspot
+
+``--pattern`` selects a workload from the catalog in EXPERIMENTS.md
+(uniform, hotspot, transpose, complement, tornado, nearest, bursty);
+``--pattern-param key=value`` (repeatable) sets its knobs.
+``--find-knee`` switches ``sweep`` from a fixed load grid to the
+adaptive saturation-knee search of
+:mod:`repro.experiments.saturation`.
 
 ``--jobs N`` (or ``REPRO_JOBS=N``) fans replications / campaign runs
 out over N worker processes; aggregation order is deterministic, so
@@ -35,6 +45,37 @@ from repro.experiments import experiment_scale, sweep_loads
 from repro.experiments.report import render_series_table
 from repro.sim.config import FaultConfig, RecoveryConfig, SimulationConfig
 from repro.sim.simulator import NetworkSimulator
+from repro.sim.traffic import TrafficGenerator
+
+
+def _pattern_params(pairs: Optional[List[str]]) -> dict:
+    """Parse repeated ``--pattern-param key=value`` options.
+
+    Values are coerced int → float → comma-separated int list →
+    string, covering every knob in the catalog (counts, fractions,
+    and explicit ``hotspot_nodes`` lists).
+    """
+    params: dict = {}
+    for pair in pairs or ():
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"--pattern-param expects key=value, got {pair!r}"
+            )
+        value: object = raw
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                if "," in raw:
+                    try:
+                        value = [int(x) for x in raw.split(",")]
+                    except ValueError:
+                        pass
+        params[key] = value
+    return params
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -47,6 +88,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         protocol=args.protocol,
         protocol_params=params,
         message_length=args.message_length,
+        traffic=args.pattern,
+        traffic_params=_pattern_params(args.pattern_param),
         offered_load=args.load,
         warmup_cycles=args.warmup,
         measure_cycles=args.cycles,
@@ -61,7 +104,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     result = NetworkSimulator(cfg).run()
     print(
-        f"protocol={args.protocol} load={args.load} faults={args.faults} "
+        f"protocol={args.protocol} pattern={args.pattern} "
+        f"load={args.load} faults={args.faults} "
         f"dynamic={args.dynamic_faults}"
     )
     print(
@@ -131,10 +175,34 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    loads = [float(x) for x in args.loads.split(",")]
     params = {}
     if args.protocol == "tp":
         params["k_unsafe"] = args.k_unsafe
+    traffic_params = _pattern_params(args.pattern_param)
+    if args.find_knee:
+        from repro.experiments import saturation
+
+        result = saturation.find_knee(
+            experiment_scale(),
+            args.protocol,
+            params,
+            traffic=args.pattern,
+            traffic_params=traffic_params,
+            tolerance=args.knee_tol,
+            jobs=args.jobs,
+        )
+        print(saturation.render([result]))
+        lo, hi = result.bracket
+        print(f"knee bracket: [{lo:.4f}, {hi:.4f}]")
+        if args.out:
+            import json
+
+            with open(args.out, "w") as fh:
+                json.dump(saturation.snapshot([result]), fh, indent=2)
+                fh.write("\n")
+            print(f"wrote {args.out}")
+        return 0
+    loads = [float(x) for x in args.loads.split(",")]
     series = sweep_loads(
         experiment_scale(),
         args.protocol.upper(),
@@ -142,9 +210,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         params,
         loads=loads,
         static_faults=args.faults,
+        traffic=args.pattern,
+        traffic_params=traffic_params,
         jobs=args.jobs,
     )
-    print(render_series_table([series], title=f"sweep: {args.protocol}"))
+    title = f"sweep: {args.protocol} ({args.pattern})"
+    print(render_series_table([series], title=title))
     return 0
 
 
@@ -167,6 +238,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         k=args.k,
         n=args.n,
         offered_load=args.load,
+        traffic=args.pattern,
+        traffic_params=_pattern_params(args.pattern_param),
         bursts=args.bursts,
         burst_size=args.burst_size,
         node_fault_fraction=args.node_fault_fraction,
@@ -194,6 +267,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--n", type=int, default=2, help="dimensions")
     run_p.add_argument("--load", type=float, default=0.1,
                        help="offered load, flits/node/cycle")
+    run_p.add_argument("--pattern", default="uniform",
+                       choices=TrafficGenerator.PATTERNS,
+                       help="workload pattern (EXPERIMENTS.md catalog)")
+    run_p.add_argument(
+        "--pattern-param", action="append", metavar="KEY=VALUE",
+        help="pattern knob, e.g. hotspot_fraction=0.3 (repeatable)",
+    )
     run_p.add_argument("--message-length", type=int, default=32)
     run_p.add_argument("--faults", type=int, default=0,
                        help="static node faults")
@@ -223,6 +303,28 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--loads", default="0.05,0.1,0.2,0.3")
     sweep_p.add_argument("--faults", type=int, default=0)
     sweep_p.add_argument("--k-unsafe", type=int, default=0)
+    sweep_p.add_argument("--pattern", default="uniform",
+                         choices=TrafficGenerator.PATTERNS,
+                         help="workload pattern (EXPERIMENTS.md catalog)")
+    sweep_p.add_argument(
+        "--pattern-param", action="append", metavar="KEY=VALUE",
+        help="pattern knob, e.g. burst_on=64 (repeatable)",
+    )
+    sweep_p.add_argument(
+        "--find-knee", action="store_true",
+        help=(
+            "replace the fixed load grid with the adaptive "
+            "saturation-knee search (bracket + bisect)"
+        ),
+    )
+    sweep_p.add_argument(
+        "--knee-tol", type=float, default=0.02,
+        help="bisection tolerance on the knee load (default: 0.02)",
+    )
+    sweep_p.add_argument(
+        "--out", default=None,
+        help="with --find-knee: write a BENCH_saturation.json snapshot",
+    )
     sweep_p.add_argument(
         "--jobs", type=int, default=None,
         help=(
@@ -248,6 +350,13 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_p.add_argument("--k", type=int, default=6)
     chaos_p.add_argument("--n", type=int, default=2)
     chaos_p.add_argument("--load", type=float, default=0.08)
+    chaos_p.add_argument("--pattern", default="uniform",
+                         choices=TrafficGenerator.PATTERNS,
+                         help="workload pattern under the fault storm")
+    chaos_p.add_argument(
+        "--pattern-param", action="append", metavar="KEY=VALUE",
+        help="pattern knob, e.g. hotspot_count=2 (repeatable)",
+    )
     chaos_p.add_argument("--bursts", type=int, default=3,
                          help="fault bursts per run")
     chaos_p.add_argument("--burst-size", type=int, default=2,

@@ -10,6 +10,8 @@ One module per figure (see DESIGN.md's experiment index):
 * :mod:`repro.experiments.fig15_aggressive_vs_conservative` — Figure 15
 * :mod:`repro.experiments.fig17_dynamic_faults` — Figure 17
 * :mod:`repro.experiments.ablation_k` — design-space ablations
+* :mod:`repro.experiments.saturation` — auto-knee saturation sweeps
+  over the workload catalog (DESIGN.md §9)
 """
 
 from repro.experiments.common import (
@@ -28,8 +30,16 @@ from repro.experiments.common import (
     run_point,
     sweep_loads,
 )
+from repro.experiments.saturation import (
+    KneeProbe,
+    KneeResult,
+    find_knee,
+)
 
 __all__ = [
+    "KneeProbe",
+    "KneeResult",
+    "find_knee",
     "DEFAULT_LOADS",
     "Experiment",
     "MESSAGE_LENGTH",

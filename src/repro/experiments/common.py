@@ -103,7 +103,13 @@ def fig14_load(messages_per_5000: int) -> float:
 def base_config(scale: Scale, protocol: str,
                 protocol_params: Optional[dict] = None,
                 **overrides) -> SimulationConfig:
-    """The common Section 6.0 configuration at the given scale."""
+    """The common Section 6.0 configuration at the given scale.
+
+    ``overrides`` are arbitrary :class:`SimulationConfig` fields —
+    ``traffic``/``traffic_params`` select a workload pattern from the
+    catalog (EXPERIMENTS.md); the default is the paper's uniform
+    Bernoulli workload.
+    """
     cfg = SimulationConfig(
         k=scale.k,
         n=scale.n,
@@ -186,6 +192,8 @@ def run_point(
     base_seed: int = 1,
     target_ci: float = 0.05,
     hardware_acks: bool = False,
+    traffic: str = "uniform",
+    traffic_params: Optional[dict] = None,
     jobs: Optional[int] = None,
 ) -> ReplicatedResult:
     """One experiment point, replicated per the paper's CI rule.
@@ -206,6 +214,8 @@ def run_point(
             offered_load=offered_load,
             seed=seed,
             hardware_acks=hardware_acks,
+            traffic=traffic,
+            traffic_params=dict(traffic_params or {}),
         )
         fault_cfg = FaultConfig(
             static_node_faults=static_faults,

@@ -1,0 +1,276 @@
+"""Auto-knee saturation sweeps per traffic pattern (DESIGN.md §9).
+
+The paper's latency-throughput figures read the saturation point off a
+fixed load grid; :func:`find_knee` locates it adaptively instead.  A
+load is *saturated* when its mean latency exceeds ``latency_factor``
+(default 3.0 — the same criterion as
+:meth:`repro.experiments.common.Series.saturation_throughput`) times
+the zero-load latency, or when the network never drains at all.  The
+driver measures the zero-load baseline, brackets the knee by doubling
+the load until a probe saturates, then bisects the bracket until it is
+narrower than ``tolerance`` — so the reported knee is within one
+bisection step of the true crossing.
+
+CLI: ``repro-sim sweep --pattern hotspot --find-knee``.  The module's
+``main()`` sweeps every catalog pattern and writes a
+``BENCH_saturation.json`` snapshot diffable with
+``benchmarks/compare_bench.py --key knee_throughput``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.common import (
+    Scale,
+    experiment_scale,
+    run_point,
+)
+
+#: Latency multiple over the zero-load baseline that defines saturation
+#: (matches ``Series.saturation_throughput``).
+DEFAULT_LATENCY_FACTOR = 3.0
+#: Zero-load probe (flits/node/cycle) used to measure the baseline.
+DEFAULT_LOW_LOAD = 0.02
+#: Bracketing never pushes the offered load past this.
+DEFAULT_MAX_LOAD = 0.72
+#: Bisection stops when the bracket is narrower than this.
+DEFAULT_TOLERANCE = 0.02
+
+#: Patterns swept by :func:`main` (catalog order; see EXPERIMENTS.md).
+CATALOG = ("uniform", "hotspot", "transpose", "complement", "bursty")
+
+
+@dataclass
+class KneeProbe:
+    """One measured load during bracketing/bisection."""
+
+    offered_load: float
+    latency: float
+    throughput: float
+    saturated: bool
+
+
+@dataclass
+class KneeResult:
+    """The located saturation knee for one (pattern, protocol) pair."""
+
+    pattern: str
+    protocol: str
+    scale_name: str
+    #: Highest probed load still below the saturation criterion.
+    knee_load: float
+    #: Accepted throughput (flits/node/cycle) at ``knee_load``.
+    knee_throughput: float
+    #: Mean latency at the zero-load probe.
+    base_latency: float
+    latency_factor: float
+    tolerance: float
+    #: Every probe, in measurement order (baseline first).
+    probes: List[KneeProbe] = field(default_factory=list)
+
+    @property
+    def bracket(self) -> tuple:
+        """(last unsaturated load, first saturated load) — the knee
+        lies inside; the gap is at most ``tolerance`` unless bracketing
+        hit the load ceiling without ever saturating."""
+        lo = max(p.offered_load for p in self.probes if not p.saturated)
+        sat = [p.offered_load for p in self.probes if p.saturated]
+        return (lo, min(sat) if sat else float("inf"))
+
+
+def _probe(
+    scale: Scale,
+    protocol: str,
+    protocol_params: Optional[dict],
+    load: float,
+    traffic: str,
+    traffic_params: Optional[dict],
+    threshold: float,
+    base_seed: int,
+    jobs: Optional[int],
+) -> KneeProbe:
+    """Measure one load; never-drained points count as saturated."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        try:
+            rep = run_point(
+                scale, protocol, protocol_params, load,
+                traffic=traffic, traffic_params=traffic_params,
+                base_seed=base_seed, jobs=jobs,
+            )
+        except RuntimeError:
+            # Every replication failed to drain: far past the knee.
+            return KneeProbe(load, float("inf"), float("nan"), True)
+    latency = rep.latency_mean
+    saturated = math.isnan(latency) or latency > threshold
+    return KneeProbe(load, latency, rep.throughput_mean, saturated)
+
+
+def find_knee(
+    scale: Scale,
+    protocol: str,
+    protocol_params: Optional[dict] = None,
+    traffic: str = "uniform",
+    traffic_params: Optional[dict] = None,
+    latency_factor: float = DEFAULT_LATENCY_FACTOR,
+    low_load: float = DEFAULT_LOW_LOAD,
+    max_load: float = DEFAULT_MAX_LOAD,
+    tolerance: float = DEFAULT_TOLERANCE,
+    base_seed: int = 1,
+    jobs: Optional[int] = None,
+) -> KneeResult:
+    """Locate the saturation knee for one traffic pattern.
+
+    Three stages, each reusing :func:`run_point` (so every probe gets
+    the paper's replication-until-confident treatment):
+
+    1. **Baseline** — measure latency at ``low_load``; the saturation
+       threshold is ``latency_factor`` times that.
+    2. **Bracket** — double the load from ``low_load`` until a probe
+       saturates (or ``max_load`` is reached, in which case the
+       network never saturated in range and the highest load is the
+       knee).
+    3. **Bisect** — shrink the (unsaturated, saturated) bracket until
+       it is narrower than ``tolerance``.
+
+    Every probe at a distinct load uses a distinct ``base_seed`` offset
+    so replications never share seeds across loads.
+    """
+    probes: List[KneeProbe] = []
+
+    def measure(load: float, threshold: float) -> KneeProbe:
+        p = _probe(
+            scale, protocol, protocol_params, load, traffic,
+            traffic_params, threshold,
+            base_seed + 1000 * len(probes), jobs,
+        )
+        probes.append(p)
+        return p
+
+    base = measure(low_load, float("inf"))
+    if math.isnan(base.latency) or math.isinf(base.latency):
+        raise RuntimeError(
+            f"pattern {traffic!r} saturates even at the zero-load probe "
+            f"({low_load}); lower low_load"
+        )
+    threshold = latency_factor * base.latency
+
+    # Bracket: double until saturated or out of range.
+    lo = low_load
+    lo_probe = base
+    hi = min(2 * low_load, max_load)
+    while True:
+        p = measure(hi, threshold)
+        if p.saturated:
+            break
+        lo, lo_probe = hi, p
+        if hi >= max_load:
+            hi = float("inf")  # never saturated in range
+            break
+        hi = min(2 * hi, max_load)
+
+    # Bisect the bracket down to the tolerance.
+    if math.isfinite(hi):
+        while hi - lo > tolerance:
+            mid = (lo + hi) / 2
+            p = measure(mid, threshold)
+            if p.saturated:
+                hi = mid
+            else:
+                lo, lo_probe = mid, p
+
+    return KneeResult(
+        pattern=traffic,
+        protocol=protocol,
+        scale_name=scale.name,
+        knee_load=lo,
+        knee_throughput=lo_probe.throughput,
+        base_latency=base.latency,
+        latency_factor=latency_factor,
+        tolerance=tolerance,
+        probes=probes,
+    )
+
+
+def render(results: List[KneeResult]) -> str:
+    """Aligned ASCII table of located knees."""
+    header = (
+        f"{'pattern':<12} {'protocol':>8} {'knee load':>10} "
+        f"{'knee tput':>10} {'base lat':>9} {'probes':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in results:
+        lines.append(
+            f"{r.pattern:<12} {r.protocol:>8} {r.knee_load:>10.4f} "
+            f"{r.knee_throughput:>10.4f} {r.base_latency:>9.1f} "
+            f"{len(r.probes):>6}"
+        )
+    return "\n".join(lines)
+
+
+def snapshot(results: List[KneeResult]) -> Dict:
+    """A ``BENCH_saturation.json`` payload.
+
+    Shaped like ``BENCH_engine.json`` — a ``workloads`` list keyed by
+    ``workload`` name — so ``benchmarks/compare_bench.py`` diffs two
+    snapshots directly (``--key knee_throughput`` or
+    ``--key knee_load``).
+    """
+    return {
+        "scale": results[0].scale_name if results else None,
+        "workloads": [
+            {
+                "workload": f"{r.pattern}/{r.protocol}",
+                "knee_load": r.knee_load,
+                "knee_throughput": r.knee_throughput,
+                "base_latency": r.base_latency,
+                "probes": len(r.probes),
+            }
+            for r in results
+        ],
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Sweep the workload catalog and write the knee snapshot."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Auto-knee saturation sweep over the workload catalog."
+    )
+    parser.add_argument("--protocol", default="tp")
+    parser.add_argument("--patterns", default=",".join(CATALOG))
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE)
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--out", default=None,
+                        help="write BENCH_saturation.json here")
+    args = parser.parse_args(argv)
+
+    scale = experiment_scale()
+    params = {"k_unsafe": 0} if args.protocol == "tp" else {}
+    results = []
+    for pattern in args.patterns.split(","):
+        results.append(
+            find_knee(
+                scale, args.protocol, params, traffic=pattern,
+                tolerance=args.tolerance, jobs=args.jobs,
+            )
+        )
+    print(render(results))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(snapshot(results), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -55,6 +55,11 @@ class ChaosSpec:
     k: int = 6
     n: int = 2
     offered_load: float = 0.08
+    #: Workload pattern under fault storms (see the EXPERIMENTS.md
+    #: catalog) — hotspot and bursty runs exercise the resilience
+    #: machinery under skewed and clumped traffic.
+    traffic: str = "uniform"
+    traffic_params: dict = field(default_factory=dict)
     message_length: int = 8
     warmup_cycles: int = 200
     measure_cycles: int = 1000
@@ -309,6 +314,8 @@ def run_one(spec: ChaosSpec, seed: int, protocol: str) -> ChaosRunRecord:
         k=spec.k, n=spec.n, protocol=real_protocol,
         protocol_params=dict(params),
         offered_load=spec.gridlock_load if gridlock else spec.offered_load,
+        traffic=spec.traffic,
+        traffic_params=dict(spec.traffic_params),
         message_length=(
             spec.gridlock_message_length if gridlock
             else spec.message_length

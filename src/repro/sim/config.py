@@ -104,8 +104,17 @@ class SimulationConfig:
 
     # Workload (paper: 32-flit messages, 1-flit header, uniform).
     message_length: int = 32
+    #: Destination-pattern name — see :mod:`repro.sim.traffic` and the
+    #: workload catalog in EXPERIMENTS.md: "uniform", "hotspot",
+    #: "transpose", "complement", "tornado", "nearest", "bursty".
     traffic: str = "uniform"
-    #: Offered load in data flits per node per cycle.
+    #: Pattern knobs (DESIGN.md §9): ``hotspot_fraction`` /
+    #: ``hotspot_count`` / ``hotspot_nodes`` for hotspot traffic;
+    #: ``burst_on`` / ``burst_off`` / ``burst_off_load`` switch any
+    #: pattern to on-off (MMBP) injection timing.
+    traffic_params: Dict[str, Any] = field(default_factory=dict)
+    #: Offered load in data flits per node per cycle (time-averaged —
+    #: bursty injection concentrates it into ON windows).
     offered_load: float = 0.1
     injection_queue_limit: int = 8
 

@@ -21,15 +21,16 @@ Every cycle advances the network through five phases:
    additionally passes the scouting gate (CMU counter >= programmed K,
    Figure 11) and detour holds.  Ejection (one flit per node per
    cycle over the PE link) and injection share this phase.
-5. **Traffic** — Bernoulli message generation with the 8-message
+5. **Traffic** — message generation with the 8-message
    injection-buffer congestion control, plus launch of queued headers.
-   The per-node-per-cycle Bernoulli trials (probability
-   ``offered_load / message_length``) are realized by inversion-method
-   geometric gap sampling over the flat (cycle, node) trial sequence:
-   one uniform draw yields the number of failed trials before the next
-   success, so a cycle with no injection costs O(1) and the quiescence
-   fast-forward below can jump over whole idle stretches while
-   consuming the RNG identically.
+   Injection timing is delegated to the configured
+   :class:`~repro.sim.traffic.InjectionProcess` (Bernoulli by default,
+   on-off/MMBP for bursty workloads): per-node-per-cycle trials are
+   realized by inversion-method geometric gap sampling over the flat
+   (cycle, node) trial sequence, so a cycle with no injection costs
+   O(1) and the quiescence fast-forward below can jump over whole idle
+   stretches while consuming the RNG identically (the
+   ``arrivals``/``idle_cycles``/``skip_cycles`` contract, DESIGN.md §9).
 
 Quiescence fast-forward: when nothing at all is in flight — no active
 or pending message, no busy injection queue, no control/ack token, no
@@ -61,7 +62,6 @@ parallel campaign runner guarantee serial-equivalent results.
 
 from __future__ import annotations
 
-import math
 import random
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
@@ -87,7 +87,7 @@ from repro.sim.message import (
     TPMode,
 )
 from repro.sim.stats import MessageRecord
-from repro.sim.traffic import TrafficGenerator
+from repro.sim.traffic import TrafficGenerator, make_injection_process
 
 
 class DeadlockError(RuntimeError):
@@ -187,7 +187,8 @@ class Engine:
             self.topology.num_channels, config.num_adaptive_vcs
         )
         self.traffic = traffic if traffic is not None else TrafficGenerator(
-            config.traffic, self.topology, self.rng
+            config.traffic, self.topology, self.rng,
+            params=config.traffic_params,
         )
         self.dynamic_schedule = dynamic_schedule
         # Hot-path constants, hoisted once (immutable for the engine's
@@ -270,19 +271,10 @@ class Engine:
         #: only — deliberately not part of RunResult, which must stay
         #: byte-identical with fast-forward on and off).
         self.fast_forwarded_cycles = 0
-        #: Bernoulli injection, geometric form: probability per
-        #: (node, cycle) trial, and the number of failed trials left
-        #: before the next success in the flat cycle-major node-minor
-        #: trial sequence (inversion method; see ``_draw_gap``).
-        self._inj_p = (
-            config.offered_load / config.message_length
-            if config.offered_load > 0 else 0.0
-        )
-        self._inj_log_q = (
-            math.log(1.0 - self._inj_p)
-            if 0.0 < self._inj_p < 1.0 else None
-        )
-        self._inj_gap = self._draw_gap() if self._inj_p > 0 else 0
+        #: Injection timing, gap-sampled (Bernoulli by default; on-off
+        #: MMBP for bursty workloads — see repro.sim.traffic).  One
+        #: trial slot per healthy node per cycle, cycle-major.
+        self.injection = make_injection_process(config, self.rng)
         #: Per-cycle scratch: node -> {msg_id: Message} ready to eject.
         self._eject_ready: Dict[int, Dict[int, Message]] = {}
         #: Gate-state updates from control flits arriving this cycle;
@@ -383,12 +375,12 @@ class Engine:
 
         The horizon is the earliest of ``limit`` (the run target or the
         hook's declared next event), the next armed dynamic fault, the
-        next invariant-audit tick, and the next injection success —
-        computed exactly from the geometric injection gap, which is
-        decremented by the skipped trials so the RNG stream continues
-        precisely where the cycle-by-cycle path would have left it.
-        The first cycle that can change state is then executed by the
-        ordinary :meth:`step`.
+        next invariant-audit tick, and the next injection arrival —
+        known exactly from the injection process's gap/dwell state
+        (``idle_cycles``), which ``skip_cycles`` then debits without
+        RNG draws so the stream continues precisely where the
+        cycle-by-cycle path would have left it.  The first cycle that
+        can change state is then executed by the ordinary :meth:`step`.
         """
         stop = limit
         if self.dynamic_schedule is not None:
@@ -402,34 +394,18 @@ class Engine:
         skip = stop - self.cycle
         if skip <= 0:
             return
-        if self.traffic_enabled and self._inj_p > 0:
+        if self.traffic_enabled and self.injection.enabled:
             num_healthy = len(self.traffic.healthy_nodes)
             if num_healthy:
-                idle_cycles = self._inj_gap // num_healthy
+                idle_cycles = self.injection.idle_cycles(num_healthy)
                 if idle_cycles < skip:
                     skip = idle_cycles
                 if skip <= 0:
                     return
-                self._inj_gap -= skip * num_healthy
+                self.injection.skip_cycles(skip, num_healthy)
         self.cycle += skip
         self.ctx.cycle = self.cycle
         self.fast_forwarded_cycles += skip
-
-    def _draw_gap(self) -> int:
-        """Failed Bernoulli trials before the next injection success.
-
-        Inversion method: for ``U`` uniform on [0, 1),
-        ``floor(log(1 - U) / log(1 - p))`` is geometrically distributed
-        with ``P(G = g) = (1 - p)^g * p`` — exactly the distribution of
-        the number of failures preceding the next success in an i.i.d.
-        Bernoulli(p) trial sequence.  One uniform draw per success
-        replaces one draw per trial.
-        """
-        if self._inj_log_q is None:  # p >= 1: every trial succeeds
-            return 0
-        return int(
-            math.log(1.0 - self.rng.random()) / self._inj_log_q
-        )
 
     def step(self) -> None:
         """Advance one cycle through the five phases."""
@@ -1369,19 +1345,15 @@ class Engine:
     # ==================================================================
     def _phase_traffic(self) -> None:
         cfg = self.config
-        if self.traffic_enabled and self._inj_p > 0:
+        if self.traffic_enabled and self.injection.enabled:
             healthy = self.traffic.healthy_nodes
             num_healthy = len(healthy)
-            gap = self._inj_gap
-            if not num_healthy:
-                pass  # no trial slots this cycle; the gap is frozen
-            elif gap >= num_healthy:
-                # Every trial of this cycle fails: consume the cycle's
-                # slots from the gap and do nothing else — the common
-                # case at low load, and what lets the fast-forward path
-                # skip whole idle stretches with one subtraction.
-                self._inj_gap = gap - num_healthy
-            else:
+            if num_healthy:
+                # The injection process lazily yields this cycle's
+                # successful trial slots (usually none — the generator
+                # just debits the cycle from its gap); the destination
+                # draw for each arrival happens *between* two yields,
+                # preserving the historical RNG interleaving exactly.
                 length = cfg.message_length
                 limit = cfg.injection_queue_limit
                 measuring = self.in_measure_window()
@@ -1389,8 +1361,7 @@ class Engine:
                 busy_queues = self._busy_queues
                 destination = self.traffic.destination
                 cycle = self.cycle
-                pos = gap  # index of the successful trial's node
-                while pos < num_healthy:
+                for pos in self.injection.arrivals(num_healthy):
                     node = healthy[pos]
                     dst = destination(node)
                     if dst is not None:
@@ -1406,8 +1377,7 @@ class Engine:
                                 self.measured_accepted_flits += length
                             queue.append(self._new_message(node, dst, cycle))
                             busy_queues.add(node)
-                    pos += 1 + self._draw_gap()
-                self._inj_gap = pos - num_healthy
+            # else: no trial slots this cycle; the process is frozen.
 
         # Launch / advance injection queues.  Only nodes in the busy
         # set can hold a non-empty queue; ascending order matches the

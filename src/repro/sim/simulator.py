@@ -86,7 +86,8 @@ class NetworkSimulator:
             if not self.faults.is_node_faulty(node)
         ]
         self.traffic = TrafficGenerator(
-            config.traffic, self.topology, self.rng, healthy_nodes=healthy
+            config.traffic, self.topology, self.rng, healthy_nodes=healthy,
+            params=config.traffic_params,
         )
 
         schedule: Optional[DynamicFaultSchedule] = None

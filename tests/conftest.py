@@ -14,6 +14,16 @@ from repro.sim.config import SimulationConfig
 from repro.sim.engine import Engine
 from repro.sim.simulator import make_protocol
 
+try:
+    from hypothesis import settings
+
+    # CI profile: no wall-clock deadline (simulation-heavy examples)
+    # and derandomized example selection so CI runs are reproducible.
+    settings.register_profile("ci", deadline=None, derandomize=True)
+    settings.load_profile("ci")
+except ImportError:  # pragma: no cover - hypothesis is a dev extra
+    pass
+
 
 @pytest.fixture
 def torus4() -> KAryNCube:

@@ -135,12 +135,42 @@ def _audited_cfg():
     )
 
 
+#: Workload-catalog matrix (EXPERIMENTS.md): every traffic pattern must
+#: honor the injection-process fast-forward contract, including bursty
+#: dwell draws and the hotspot/bursty combination.  Low load so the
+#: quiescence skip path genuinely engages for each pattern.
+TRAFFIC_MATRIX = [
+    # (id, traffic, traffic_params)
+    ("hotspot", "hotspot", {"hotspot_fraction": 0.4, "hotspot_count": 2}),
+    ("transpose", "transpose", {}),
+    ("complement", "complement", {}),
+    ("tornado", "tornado", {}),
+    ("bursty", "bursty", {"burst_on": 24, "burst_off": 96}),
+    ("hotspot-bursty", "hotspot",
+     {"hotspot_fraction": 0.4, "burst_on": 24, "burst_off": 96,
+      "burst_off_load": 0.1}),
+]
+
+
+def _traffic_cfg(traffic, params):
+    return SimulationConfig(
+        k=6, n=2, protocol="tp", offered_load=0.02, message_length=8,
+        traffic=traffic, traffic_params=params,
+        warmup_cycles=200, measure_cycles=1500, drain_cycles=2000,
+        seed=23,
+    )
+
+
 #: Every pinned configuration of this suite, by id; the fast-forward
 #: equivalence test runs each with the skip path forced on and off.
 PINNED_CONFIGS = {
     **{
         f"proto-{pid}": (lambda p=proto, kw=params: _protocol_cfg(p, kw))
         for pid, proto, params in PROTOCOL_MATRIX
+    },
+    **{
+        f"traffic-{tid}": (lambda t=traffic, kw=params: _traffic_cfg(t, kw))
+        for tid, traffic, params in TRAFFIC_MATRIX
     },
     "static-faults": _static_fault_cfg,
     "dynamic-faults": _dynamic_fault_cfg,
@@ -229,6 +259,22 @@ def test_fast_forward_actually_skips_cycles():
     """The low-load pinned config must exercise the skip path."""
     sim = NetworkSimulator(_low_load_idle_cfg().with_(fast_forward=True))
     sim.run()
+    assert sim.engine.fast_forwarded_cycles > 0
+
+
+@pytest.mark.parametrize(
+    "traffic,params",
+    [m[1:] for m in TRAFFIC_MATRIX],
+    ids=[m[0] for m in TRAFFIC_MATRIX],
+)
+def test_traffic_patterns_exercise_skip_path(traffic, params):
+    """Each catalog pattern's pinned config must genuinely fast-forward
+    (otherwise its on/off equivalence test proves nothing)."""
+    sim = NetworkSimulator(
+        _traffic_cfg(traffic, params).with_(fast_forward=True)
+    )
+    result = sim.run()
+    assert result.delivered > 0
     assert sim.engine.fast_forwarded_cycles > 0
 
 

@@ -76,6 +76,73 @@ class TestDeterministicPatterns:
         assert gen.destination(torus8.node_id((2, 5))) is None
 
 
+class TestHotspot:
+    PARAMS = {"hotspot_fraction": 1.0, "hotspot_nodes": [8, 24, 40]}
+
+    def test_all_traffic_hits_hot_nodes(self, torus8):
+        gen = TrafficGenerator(
+            "hotspot", torus8, random.Random(1), params=self.PARAMS
+        )
+        for _ in range(100):
+            assert gen.destination(0) in {8, 24, 40}
+
+    def test_hot_source_excluded(self, torus8):
+        gen = TrafficGenerator(
+            "hotspot", torus8, random.Random(1), params=self.PARAMS
+        )
+        for _ in range(100):
+            assert gen.destination(8) in {24, 40}
+
+    def test_default_hot_nodes_evenly_spaced(self, torus8):
+        gen = TrafficGenerator(
+            "hotspot", torus8, random.Random(1),
+            params={"hotspot_fraction": 1.0, "hotspot_count": 4},
+        )
+        assert gen.pattern_impl.hotspots == [0, 16, 32, 48]
+
+    def test_dead_hot_node_redistributes(self, torus8):
+        """Regression: a hotspot dying mid-run must move its weight to
+        the surviving hot nodes, not keep targeting the corpse."""
+        gen = TrafficGenerator(
+            "hotspot", torus8, random.Random(1), params=self.PARAMS
+        )
+        gen.set_healthy_nodes([n for n in range(64) if n != 24])
+        seen = {gen.destination(0) for _ in range(200)}
+        assert 24 not in seen
+        assert seen == {8, 40}
+
+    def test_whole_hot_set_dead_degrades_to_uniform(self, torus8):
+        gen = TrafficGenerator(
+            "hotspot", torus8, random.Random(1), params=self.PARAMS
+        )
+        alive = [n for n in range(64) if n not in {8, 24, 40}]
+        gen.set_healthy_nodes(alive)
+        seen = {gen.destination(0) for _ in range(400)}
+        assert seen <= set(alive) - {0}
+        assert len(seen) > 30  # genuinely uniform, not a corpse target
+
+    def test_revived_hot_node_restored(self, torus8):
+        gen = TrafficGenerator(
+            "hotspot", torus8, random.Random(1), params=self.PARAMS
+        )
+        gen.set_healthy_nodes([n for n in range(64) if n != 24])
+        gen.set_healthy_nodes(list(range(64)))
+        seen = {gen.destination(0) for _ in range(200)}
+        assert seen == {8, 24, 40}
+
+    def test_bad_params_rejected(self, torus8):
+        with pytest.raises(ValueError):
+            TrafficGenerator(
+                "hotspot", torus8, random.Random(1),
+                params={"hotspot_fraction": 1.5},
+            )
+        with pytest.raises(ValueError):
+            TrafficGenerator(
+                "hotspot", torus8, random.Random(1),
+                params={"hotspot_nodes": [999]},
+            )
+
+
 class TestValidation:
     def test_unknown_pattern(self, torus8):
         with pytest.raises(ValueError):
