@@ -1,0 +1,62 @@
+"""P2 — storm resilience: TP-only vs online reconfiguration.
+
+Runs the chaos storm benchmark (:mod:`repro.faults.chaos`) head-to-head
+through both recovery arms and records delivery ratio during the storm,
+recovery latency, victim/ejection counts, and reconfiguration downtime
+in ``BENCH_resilience.json`` at the repository root, which CI uploads
+and diffs as an informational artifact
+(``benchmarks/compare_bench.py --key storm_delivery_ratio``).
+
+Unlike the perf benchmarks the aggregate here is deterministic (fixed
+seeds, submission-order collection), so one outcome *is* asserted: on
+the ``gridlock`` scenario — the acceptance scenario, where clustered
+bursts wedge whole corridors — the reconfiguration arm must deliver at
+least as well during the storm as per-message recovery alone.
+
+``REPRO_QUICK=1`` shrinks the seed set for CI smoke runs.
+"""
+
+import json
+import os
+import pathlib
+
+from repro.faults.chaos import StormSpec, run_storm_campaign
+
+from .conftest import run_and_report
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_resilience.json"
+
+
+def bench_spec() -> StormSpec:
+    if os.environ.get("REPRO_QUICK") == "1":
+        return StormSpec(seeds=tuple(range(2)))
+    return StormSpec()
+
+
+def run_storms():
+    result = run_storm_campaign(bench_spec())
+    report = result.report()
+    report["render"] = result.render()
+    return report
+
+
+def render(report):
+    return report["render"]
+
+
+def test_bench_resilience(benchmark):
+    report = run_and_report(benchmark, run_storms, render,
+                            name="resilience")
+    payload = {k: v for k, v in report.items() if k != "render"}
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert report["ok"], "a storm run leaked messages or failed an audit"
+    by_arm = {row["workload"]: row for row in payload["workloads"]}
+    gridlock_tp = by_arm["gridlock/tp-only"]
+    gridlock_rc = by_arm["gridlock/reconfig"]
+    # The tentpole's acceptance bar: online reconfiguration must not
+    # lose storm-window traffic that per-message recovery saves.
+    assert (gridlock_rc["storm_delivery_ratio"]
+            >= gridlock_tp["storm_delivery_ratio"])
+    assert gridlock_rc["reconfigurations"] > 0

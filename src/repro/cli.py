@@ -8,7 +8,9 @@ Subcommands:
   17, ``formulas``, ``theorems``, ``ablation``);
 * ``sweep`` — a latency-throughput load sweep for one protocol;
 * ``chaos`` — a randomized fault-storm campaign with the invariant
-  auditor and deadlock-recovery watchdog armed.
+  auditor and deadlock-recovery watchdog armed;
+* ``storm`` — the storm resilience benchmark: identical fault storms
+  through TP-only vs online-reconfiguration recovery, head-to-head.
 
 Examples::
 
@@ -22,6 +24,8 @@ Examples::
     repro-sim sweep --pattern bursty --find-knee --knee-tol 0.01
     repro-sim chaos --seeds 20 --protocols tp,dp
     REPRO_JOBS=8 repro-sim chaos --seeds 40 --pattern hotspot
+    repro-sim storm --seeds 4 --scenarios gridlock,linkstorm
+    REPRO_JOBS=8 repro-sim storm --out BENCH_resilience.json
 
 ``--pattern`` selects a workload from the catalog in EXPERIMENTS.md
 (uniform, hotspot, transpose, complement, tornado, nearest, bursty);
@@ -38,6 +42,7 @@ the output is identical to a serial run.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -195,8 +200,6 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         lo, hi = result.bracket
         print(f"knee bracket: [{lo:.4f}, {hi:.4f}]")
         if args.out:
-            import json
-
             with open(args.out, "w") as fh:
                 json.dump(saturation.snapshot([result]), fh, indent=2)
                 fh.write("\n")
@@ -247,6 +250,38 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
     result = run_campaign(spec, jobs=args.jobs)
     print(result.render())
+    return 0 if result.ok else 1
+
+
+def _cmd_storm(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import (
+        STORM_SCENARIOS,
+        StormSpec,
+        run_storm_campaign,
+    )
+
+    scenarios = tuple(args.scenarios.split(","))
+    for name in scenarios:
+        if name not in STORM_SCENARIOS:
+            print(
+                f"unknown storm scenario {name!r}; choose from "
+                f"{sorted(STORM_SCENARIOS)}",
+                file=sys.stderr,
+            )
+            return 2
+    spec = StormSpec(
+        seeds=tuple(range(args.seeds)),
+        scenarios=scenarios,
+        k=args.k,
+        n=args.n,
+    )
+    result = run_storm_campaign(spec, jobs=args.jobs)
+    print(result.render())
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(result.report(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
     return 0 if result.ok else 1
 
 
@@ -373,6 +408,34 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     chaos_p.set_defaults(func=_cmd_chaos)
+
+    storm_p = sub.add_parser(
+        "storm",
+        help=(
+            "storm resilience benchmark: TP-only vs online "
+            "reconfiguration, head-to-head"
+        ),
+    )
+    storm_p.add_argument("--seeds", type=int, default=4,
+                         help="number of seeds per (scenario, arm)")
+    storm_p.add_argument(
+        "--scenarios", default="gridlock,linkstorm",
+        help="comma-separated storm scenario names",
+    )
+    storm_p.add_argument("--k", type=int, default=6)
+    storm_p.add_argument("--n", type=int, default=2)
+    storm_p.add_argument(
+        "--out", default=None,
+        help="write the BENCH_resilience.json payload here",
+    )
+    storm_p.add_argument(
+        "--jobs", type=int, default=None,
+        help=(
+            "worker processes for the (scenario, arm, seed) grid "
+            "(default: REPRO_JOBS env var, else serial)"
+        ),
+    )
+    storm_p.set_defaults(func=_cmd_storm)
     return parser
 
 

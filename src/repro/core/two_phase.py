@@ -171,9 +171,12 @@ class TwoPhaseProtocol:
         on_path = set(message.path_nodes)
         free_adaptive = ctx.channels.free_adaptive
 
-        # Profitable over any adaptive channel, safety ignored.
+        # Profitable over any adaptive channel, safety ignored — and
+        # reconfiguration restrictions ignored too: the detour search's
+        # deliverability argument (Theorem 2) needs every healthy
+        # channel, so restrictions only steer the optimistic phase.
         for dim, direction, ch, next_node in ctx.cache.adaptive_candidates(
-            node, dst, None
+            node, dst, None, honor_restrictions=False
         ):
             if ch in tried:
                 continue
@@ -193,7 +196,8 @@ class TwoPhaseProtocol:
             arrival = message.arrival_dims[j]
             for dim, direction, ch, next_node in (
                 ctx.cache.misroute_candidates(
-                    node, dst, arrival, allow_u_turn=not can_backtrack
+                    node, dst, arrival, allow_u_turn=not can_backtrack,
+                    honor_restrictions=False,
                 )
             ):
                 if ch in tried:

@@ -17,14 +17,27 @@ this harness is the regression gate that makes aggressive engine
 changes safe to land.
 
 CLI: ``repro-sim chaos --seeds 20 --protocols tp,dp,det-naive``.
+
+The storm *benchmark* below promotes the harness from regression gate
+to measurement instrument: :func:`run_storm_campaign` runs the same
+adversarial fault storms head-to-head through two recovery arms —
+``tp-only`` (the paper's per-message misrouting/detours, nothing else)
+and ``reconfig`` (the same protocol plus the online reconfiguration
+controller of :mod:`repro.reconfig`) — and records recovery latency,
+delivery ratio over storm-window traffic, victim/ejection counts, and
+reconfiguration downtime.  ``benchmarks/test_bench_resilience.py``
+writes the aggregate into ``BENCH_resilience.json`` (diffable with
+``benchmarks/compare_bench.py --key storm_delivery_ratio``).
+
+CLI: ``repro-sim storm --seeds 4 --scenarios gridlock,linkstorm``.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from multiprocessing import Pool
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.faults.injection import DynamicFaultSchedule, FaultEvent
 from repro.sim.config import ResilienceConfig, SimulationConfig
@@ -383,6 +396,393 @@ def run_one(spec: ChaosSpec, seed: int, protocol: str) -> ChaosRunRecord:
         accounted=accounted,
         error=error,
     )
+
+
+# ======================================================================
+# Storm resilience benchmark (TP-only vs online reconfiguration)
+# ======================================================================
+
+#: Recovery arms compared head-to-head on identical storm specs.
+ARMS = ("tp-only", "reconfig")
+
+
+@dataclass(frozen=True)
+class StormScenario:
+    """One named storm shape (workload + burst pattern)."""
+
+    name: str
+    offered_load: float
+    message_length: int
+    bursts: int
+    burst_size: int
+    node_fault_fraction: float
+
+
+#: The storm catalog.  ``gridlock`` is the acceptance scenario: heavy
+#: clustered bursts at near-saturation load wedge whole corridors, so
+#: the per-message scheme keeps paying aborts/ejections in the pocket
+#: while the reconfiguration arm withdraws the pocket from the
+#: candidate sets once and routes around it.  ``linkstorm`` is a
+#: milder link-only storm at moderate load.
+STORM_SCENARIOS: Dict[str, StormScenario] = {
+    s.name: s
+    for s in (
+        StormScenario(
+            name="gridlock", offered_load=0.22, message_length=12,
+            bursts=4, burst_size=3, node_fault_fraction=0.4,
+        ),
+        StormScenario(
+            name="linkstorm", offered_load=0.10, message_length=8,
+            bursts=3, burst_size=2, node_fault_fraction=0.0,
+        ),
+    )
+}
+
+
+@dataclass
+class StormSpec:
+    """Parameters of one storm-benchmark campaign."""
+
+    seeds: Sequence[int] = tuple(range(4))
+    scenarios: Sequence[str] = ("gridlock", "linkstorm")
+    arms: Sequence[str] = ARMS
+    k: int = 6
+    n: int = 2
+    warmup_cycles: int = 200
+    measure_cycles: int = 1500
+    drain_cycles: int = 30_000
+    watchdog_cycles: int = 120
+    max_header_wait: int = 6000
+    audit_every: int = 20
+    max_deadlock_recoveries: int = 512
+    settle_cycles: int = 200
+    fast_forward: bool = True
+    #: Reconfiguration-arm knobs (see ResilienceConfig): check often —
+    #: storms are short — but demand real pressure (threshold 4) and
+    #: hold each committed plan for a while (cooldown 600), so the arm
+    #: reconfigures once per genuine pocket instead of churning epochs
+    #: and paying drain downtime for marginal plans.
+    reconfig_check_every: int = 16
+    reconfig_window: int = 512
+    reconfig_threshold: int = 4
+    reconfig_drain_timeout: int = 200
+    reconfig_cooldown: int = 600
+    reconfig_unsafe_radius: int = 2
+
+
+@dataclass
+class StormRunRecord:
+    """Outcome and recovery metrics of one storm run."""
+
+    scenario: str
+    arm: str
+    seed: int
+    faults_injected: int
+    first_burst: int
+    delivered: int
+    dropped: int
+    killed: int
+    #: Delivery accounting restricted to messages created at or after
+    #: the first burst — "delivery ratio during the storm".
+    storm_delivered: int
+    storm_dropped: int
+    storm_killed: int
+    storm_latency_mean: float
+    #: Cycles from the first burst to the last recovery action (any
+    #: teardown or reconfiguration commit) — how long the network kept
+    #: paying for the storm.
+    recovery_latency: int
+    recoveries: int
+    victims: int
+    victim_cap_hits: int
+    reconfigurations: int
+    reconfig_downtime: int
+    reconfig_victims: int
+    invariant_checks: int
+    invariant_violations: int
+    drained: bool
+    accounted: bool
+    error: Optional[str] = None
+
+    @property
+    def storm_delivery_ratio(self) -> float:
+        total = self.storm_delivered + self.storm_dropped + self.storm_killed
+        return self.storm_delivered / total if total else 1.0
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.error is None
+            and self.invariant_violations == 0
+            and (self.drained or self.accounted)
+        )
+
+
+@dataclass
+class StormCampaignResult:
+    """All storm runs plus the per-(scenario, arm) aggregate rows."""
+
+    spec: StormSpec
+    runs: List[StormRunRecord] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.runs) and all(r.ok for r in self.runs)
+
+    @property
+    def failures(self) -> List[StormRunRecord]:
+        return [r for r in self.runs if not r.ok]
+
+    def arm_runs(self, scenario: str, arm: str) -> List[StormRunRecord]:
+        return [
+            r for r in self.runs
+            if r.scenario == scenario and r.arm == arm
+        ]
+
+    def rows(self) -> List[dict]:
+        """Aggregate bench rows, one per scenario/arm (JSON-ready)."""
+        out = []
+        for scenario in self.spec.scenarios:
+            for arm in self.spec.arms:
+                runs = self.arm_runs(scenario, arm)
+                if not runs:
+                    continue
+                n = len(runs)
+                lat = [
+                    r.storm_latency_mean for r in runs
+                    if r.storm_latency_mean == r.storm_latency_mean
+                ]
+                out.append({
+                    "workload": f"{scenario}/{arm}",
+                    "scenario": scenario,
+                    "arm": arm,
+                    "seeds": n,
+                    "faults_injected": sum(r.faults_injected for r in runs),
+                    "storm_delivery_ratio": round(
+                        sum(r.storm_delivery_ratio for r in runs) / n, 4
+                    ),
+                    "storm_latency_mean": round(
+                        sum(lat) / len(lat), 2
+                    ) if lat else float("nan"),
+                    "recovery_latency_mean": round(
+                        sum(r.recovery_latency for r in runs) / n, 1
+                    ),
+                    "recoveries": sum(r.recoveries for r in runs),
+                    "victims": sum(r.victims for r in runs),
+                    "victim_cap_hits": sum(r.victim_cap_hits for r in runs),
+                    "reconfigurations": sum(
+                        r.reconfigurations for r in runs
+                    ),
+                    "reconfig_downtime": sum(
+                        r.reconfig_downtime for r in runs
+                    ),
+                    "reconfig_victims": sum(
+                        r.reconfig_victims for r in runs
+                    ),
+                    "delivered": sum(r.delivered for r in runs),
+                    "dropped": sum(r.dropped for r in runs),
+                    "killed": sum(r.killed for r in runs),
+                })
+        return out
+
+    def report(self) -> dict:
+        """The ``BENCH_resilience.json`` payload."""
+        return {
+            "k": self.spec.k,
+            "n": self.spec.n,
+            "seeds": list(self.spec.seeds),
+            "ok": self.ok,
+            "workloads": self.rows(),
+        }
+
+    def render(self) -> str:
+        header = (
+            f"{'scenario/arm':<22} {'ratio':>6} {'lat':>8} {'recov':>6} "
+            f"{'vict':>5} {'reconf':>6} {'down':>5} {'deliv':>6} "
+            f"{'drop':>5} {'kill':>5}"
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.rows():
+            lines.append(
+                f"{row['workload']:<22} {row['storm_delivery_ratio']:>6.3f} "
+                f"{row['storm_latency_mean']:>8.1f} {row['recoveries']:>6} "
+                f"{row['victims']:>5} {row['reconfigurations']:>6} "
+                f"{row['reconfig_downtime']:>5} {row['delivered']:>6} "
+                f"{row['dropped']:>5} {row['killed']:>5}"
+            )
+        lines.append("-" * len(header))
+        verdict = "PASS" if self.ok else "FAIL"
+        lines.append(
+            f"{verdict}: {len(self.runs)} runs, "
+            f"{len(self.failures)} failures"
+        )
+        return "\n".join(lines)
+
+
+def storm_config(
+    spec: StormSpec, scenario: StormScenario, seed: int, arm: str
+) -> SimulationConfig:
+    """The SimulationConfig of one storm run (both arms share all but
+    the reconfiguration switch)."""
+    return SimulationConfig(
+        k=spec.k, n=spec.n, protocol="tp",
+        offered_load=scenario.offered_load,
+        message_length=scenario.message_length,
+        warmup_cycles=spec.warmup_cycles,
+        measure_cycles=spec.measure_cycles,
+        drain_cycles=spec.drain_cycles,
+        seed=seed,
+        fast_forward=spec.fast_forward,
+        watchdog_cycles=spec.watchdog_cycles,
+        max_header_wait=spec.max_header_wait,
+        resilience=ResilienceConfig(
+            audit_invariants=True,
+            audit_every=spec.audit_every,
+            max_deadlock_recoveries=spec.max_deadlock_recoveries,
+            reconfig=(arm == "reconfig"),
+            reconfig_check_every=spec.reconfig_check_every,
+            reconfig_window=spec.reconfig_window,
+            reconfig_threshold=spec.reconfig_threshold,
+            reconfig_drain_timeout=spec.reconfig_drain_timeout,
+            reconfig_cooldown=spec.reconfig_cooldown,
+            reconfig_unsafe_radius=spec.reconfig_unsafe_radius,
+        ),
+    )
+
+
+def run_storm_one(
+    spec: StormSpec, scenario_name: str, seed: int, arm: str
+) -> StormRunRecord:
+    """One storm run: same seed, same burst targeting policy per arm.
+
+    Head-to-head means identical spec and seed, not an identical fault
+    *trace*: the chaos controller aims at live vulnerable messages, so
+    once the arms diverge in routing the targeted channels may too —
+    the comparison is between recovery mechanisms under the same
+    adversary, exactly like the chaos harness runs.
+    """
+    if arm not in ARMS:
+        raise ValueError(f"unknown arm {arm!r}; choose from {ARMS}")
+    scenario = STORM_SCENARIOS[scenario_name]
+    cfg = storm_config(spec, scenario, seed, arm)
+    sim = NetworkSimulator(cfg)
+    engine = sim.engine
+    if engine.dynamic_schedule is None:
+        engine.dynamic_schedule = DynamicFaultSchedule()
+    burst_cycles = [
+        spec.warmup_cycles + (i + 1) * spec.measure_cycles
+        // (scenario.bursts + 1)
+        for i in range(scenario.bursts)
+    ]
+    controller = ChaosController(
+        engine.dynamic_schedule,
+        random.Random((seed + 1) * 7919),
+        burst_cycles,
+        scenario.burst_size,
+        scenario.node_fault_fraction,
+    )
+    first_burst = burst_cycles[0]
+    error: Optional[str] = None
+    try:
+        sim.run(on_cycle=controller)
+        for _ in range(spec.settle_cycles):
+            if engine.network_drained():
+                break
+            engine.step()
+    except DeadlockError as exc:
+        error = f"DeadlockError: {exc}"
+    except InvariantError as exc:
+        error = f"InvariantError: {exc}"
+
+    if error is None:
+        engine.auditor.audit()
+    records = [r for r in engine.records if not r.superseded]
+    statuses = [r.status for r in records]
+    storm_records = [r for r in records if r.created >= first_burst]
+    storm_statuses = [r.status for r in storm_records]
+    storm_latencies = [
+        r.latency for r in storm_records
+        if r.status == "DELIVERED" and r.latency is not None
+    ]
+    accounted = (
+        not engine.active
+        and not any(engine.queues)
+        and len(records) == engine.accepted_messages
+    )
+    return StormRunRecord(
+        scenario=scenario_name,
+        arm=arm,
+        seed=seed,
+        faults_injected=controller.faults_injected,
+        first_burst=first_burst,
+        delivered=statuses.count("DELIVERED"),
+        dropped=statuses.count("DROPPED"),
+        killed=statuses.count("KILLED"),
+        storm_delivered=storm_statuses.count("DELIVERED"),
+        storm_dropped=storm_statuses.count("DROPPED"),
+        storm_killed=storm_statuses.count("KILLED"),
+        storm_latency_mean=(
+            sum(storm_latencies) / len(storm_latencies)
+            if storm_latencies else float("nan")
+        ),
+        recovery_latency=max(
+            0, engine.last_recovery_cycle - first_burst
+        ) if engine.last_recovery_cycle else 0,
+        recoveries=engine.deadlock_recoveries,
+        victims=len(engine.deadlock_victims),
+        victim_cap_hits=engine.victim_cap_hits,
+        reconfigurations=engine.reconfigurations,
+        reconfig_downtime=engine.reconfig_downtime_cycles,
+        reconfig_victims=len(engine.reconfig_victims),
+        invariant_checks=(
+            engine.auditor.checks_run if engine.auditor else 0
+        ),
+        invariant_violations=engine.auditor.violations_found,
+        drained=engine.network_drained(),
+        accounted=accounted,
+        error=error,
+    )
+
+
+def run_storm_campaign(
+    spec: Optional[StormSpec] = None,
+    jobs: Optional[int] = None,
+) -> StormCampaignResult:
+    """Every scenario crossed with every arm and seed, serial-identical.
+
+    Like :func:`run_campaign`, runs are independent simulations fanned
+    out over a process pool in submission order (scenario-major, then
+    arm, then seed), so parallel and serial campaigns produce the same
+    run list byte for byte.
+    """
+    spec = spec if spec is not None else StormSpec()
+    for name in spec.scenarios:
+        if name not in STORM_SCENARIOS:
+            raise ValueError(
+                f"unknown storm scenario {name!r}; choose from "
+                f"{sorted(STORM_SCENARIOS)}"
+            )
+    tasks = [
+        (spec, scenario, seed, arm)
+        for scenario in spec.scenarios
+        for arm in spec.arms
+        for seed in spec.seeds
+    ]
+    result = StormCampaignResult(spec=spec)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(tasks) <= 1:
+        result.runs.extend(run_storm_one(*task) for task in tasks)
+    else:
+        with Pool(processes=min(jobs, len(tasks))) as pool:
+            result.runs.extend(
+                pool.starmap(run_storm_one, tasks, chunksize=1)
+            )
+    return result
+
+
+def storm_record_dicts(result: StormCampaignResult) -> List[dict]:
+    """Plain-dict run records (determinism tests compare these)."""
+    return [asdict(r) for r in result.runs]
 
 
 def run_campaign(

@@ -16,6 +16,17 @@ this designation.
 Failures are permanent (static at power-on, or dynamic during
 operation) and :class:`FaultState` supports incremental updates so the
 simulator can inject dynamic faults mid-run.
+
+Beyond the paper's per-message reaction, the online reconfiguration
+subsystem (:mod:`repro.reconfig`) can push a *routing restriction
+epoch* through this class: a set of **restricted** channels (healthy,
+but withdrawn from adaptive/misroute candidate sets except for the
+final delivery hop) and a widened **unsafe radius** (the at-risk ball
+around faulty components grows from the paper's 1-hop adjacency to an
+r-hop BFS ball, switching TP to its conservative phase earlier around
+fault pockets).  Both are committed atomically by :meth:`reconfigure`
+and funnel through :meth:`_recompute_unsafe`, so route caches see
+exactly one epoch bump per reconfiguration.
 """
 
 from __future__ import annotations
@@ -37,6 +48,17 @@ class FaultState:
         self.faulty_links: Set[Tuple[int, int]] = set()
         self.channel_faulty: List[bool] = [False] * topology.num_channels
         self.channel_unsafe: List[bool] = [False] * topology.num_channels
+        #: Healthy channels withdrawn from adaptive/misroute candidate
+        #: sets by an online reconfiguration (:mod:`repro.reconfig`).
+        #: The dimension-order escape layer and the final delivery hop
+        #: ignore restrictions, so deliverability is never reduced.
+        self.channel_restricted: List[bool] = [False] * topology.num_channels
+        #: Radius of the at-risk ball around faulty components; 1 is
+        #: the paper's "adjacent PE" rule (Figure 3), larger values are
+        #: committed by :meth:`reconfigure`.
+        self.unsafe_radius: int = 1
+        #: Committed reconfigurations (restriction epochs) so far.
+        self.restriction_epoch: int = 0
         #: Channels whose fault status changed in the most recent
         #: update; the engine uses this to find interrupted messages.
         self.last_failed_channels: List[int] = []
@@ -98,8 +120,11 @@ class FaultState:
         """Re-derive unsafe marks from the current fault sets.
 
         A healthy channel ``u -> v`` is unsafe iff its head node ``v``
-        has at least one faulty incident channel — i.e. continuing past
-        ``v`` may run into the failed component.
+        is *at risk*: within :attr:`unsafe_radius` hops (over healthy
+        channels) of a node incident to a faulty channel.  At the
+        default radius 1 the at-risk set is exactly the paper's rule —
+        nodes touching a failed component — and the marks are
+        bit-identical to the pre-reconfiguration implementation.
 
         Every mutation of the fault sets funnels through here, so this
         is also the single point that advances the fault epoch.
@@ -107,16 +132,61 @@ class FaultState:
         self.epoch += 1
         topo = self.topology
         at_risk = [False] * topo.num_nodes
+        frontier: List[int] = []
         for ch_id, faulty in enumerate(self.channel_faulty):
             if faulty:
                 c = topo.channel(ch_id)
-                at_risk[c.src] = True
-                at_risk[c.dst] = True
+                for node in (c.src, c.dst):
+                    if not at_risk[node]:
+                        at_risk[node] = True
+                        frontier.append(node)
+        for _ in range(self.unsafe_radius - 1):
+            if not frontier:
+                break
+            nxt: List[int] = []
+            for node in frontier:
+                for dim, direction in topo.ports(node):
+                    ch = topo.channel_id(node, dim, direction)
+                    if self.channel_faulty[ch]:
+                        continue
+                    v = topo.channel(ch).dst
+                    if not at_risk[v]:
+                        at_risk[v] = True
+                        nxt.append(v)
+            frontier = nxt
         for ch_id in range(topo.num_channels):
             if self.channel_faulty[ch_id]:
                 self.channel_unsafe[ch_id] = False
             else:
                 self.channel_unsafe[ch_id] = at_risk[topo.channel(ch_id).dst]
+
+    def reconfigure(
+        self,
+        restricted_channels: Iterable[int],
+        unsafe_radius: Optional[int] = None,
+    ) -> None:
+        """Atomically commit a new routing-restriction epoch.
+
+        Replaces the restricted-channel set (faulty channels are never
+        marked restricted — faulty already dominates in every consumer)
+        and optionally the unsafe radius, then re-derives the unsafe
+        marks.  Exactly one epoch bump, so
+        :class:`~repro.routing.cache.RouteCache` invalidates once and
+        the next candidate lookup sees the fully committed epoch —
+        callers (the reconfiguration controller) must only invoke this
+        when no message is mid-route, per the drain protocol.
+        """
+        if unsafe_radius is not None:
+            if unsafe_radius < 1:
+                raise ValueError("unsafe_radius must be >= 1")
+            self.unsafe_radius = unsafe_radius
+        restricted = [False] * self.topology.num_channels
+        for ch in restricted_channels:
+            if not self.channel_faulty[ch]:
+                restricted[ch] = True
+        self.channel_restricted = restricted
+        self.restriction_epoch += 1
+        self._recompute_unsafe()
 
     def is_node_faulty(self, node: int) -> bool:
         return node in self.faulty_nodes
@@ -126,6 +196,9 @@ class FaultState:
 
     def is_channel_unsafe(self, channel_id: int) -> bool:
         return self.channel_unsafe[channel_id]
+
+    def is_channel_restricted(self, channel_id: int) -> bool:
+        return self.channel_restricted[channel_id]
 
     @property
     def num_faults(self) -> int:

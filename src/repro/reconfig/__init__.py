@@ -1,0 +1,24 @@
+"""Online dynamic reconfiguration (DBR-style) — see DESIGN.md §10.
+
+The paper's protocols react to faults per message; this subsystem
+reacts per *network*: when faults accumulate and recovery pressure
+rises, the :class:`ReconfigController` drains in-flight routing,
+recomputes the routing restrictions (:func:`compute_plan`) and commits
+them as a new :class:`~repro.faults.model.FaultState` epoch that every
+route cache picks up atomically.
+"""
+
+from repro.reconfig.controller import (
+    PRESSURE_WEIGHTS,
+    ReconfigController,
+    ReconfigEvent,
+)
+from repro.reconfig.restrictions import RestrictionPlan, compute_plan
+
+__all__ = [
+    "PRESSURE_WEIGHTS",
+    "ReconfigController",
+    "ReconfigEvent",
+    "RestrictionPlan",
+    "compute_plan",
+]

@@ -10,11 +10,26 @@ header re-evaluated for hundreds of cycles recomputes identical lists.
 
 :class:`RouteCache` memoizes them per (router, destination, phase)
 where "phase" is the safety filter / misroute context, and keys the
-fault-dependent caches on :attr:`FaultState.epoch`: any fault or
-unsafe-marking event bumps the epoch (``FaultState._recompute_unsafe``
-is the single funnel point) and the next lookup drops every stale
-entry.  The dimension-order escape route is a pure function of the
-topology and is cached forever.
+fault-dependent caches on :attr:`FaultState.epoch`: any fault,
+unsafe-marking, or online-reconfiguration event bumps the epoch
+(``FaultState._recompute_unsafe`` is the single funnel point) and the
+next lookup drops every stale entry — a candidate tuple therefore
+never mixes channels admitted under two different epochs.  The
+dimension-order escape route is a pure function of the topology and is
+cached forever.
+
+Reconfiguration restrictions (:attr:`FaultState.channel_restricted`)
+are filtered here alongside fault status, with two carve-outs.  First,
+a restricted channel whose head node *is* the destination stays
+eligible (the final delivery hop), so restricting every inbound
+channel of a pocket node never makes that node unreachable.  Second,
+restrictions are a *steering* mechanism, not a correctness one:
+callers implementing a recovery search whose deliverability argument
+needs every healthy channel (TP's conservative detour phase) pass
+``honor_restrictions=False`` and see the unrestricted sets.  The
+escape layer is exempt for the same reason — restrictions prune only
+the optimistic adaptive/misroute sets, so the deadlock-free escape
+network survives any restriction pattern (Duato-style separation).
 
 Entries are tuples of ``(dim, direction, channel_id, next_node)`` so
 protocol hot loops avoid the ``channel_id``/``channel`` lookups too.
@@ -45,10 +60,10 @@ class RouteCache:
         self.topology = topology
         self.faults = faults
         self._epoch = faults.epoch
-        #: (node, dst, require_safe) -> tuple of Candidate.
-        self._adaptive: Dict[Tuple[int, int, Optional[bool]],
-                             Tuple[Candidate, ...]] = {}
-        #: (node, dst, arrival, allow_u_turn) -> tuple of Candidate.
+        #: (node, dst, require_safe, honor_restrictions) -> Candidates.
+        self._adaptive: Dict[tuple, Tuple[Candidate, ...]] = {}
+        #: (node, dst, arrival, allow_u_turn, honor_restrictions)
+        #: -> tuple of Candidate.
         self._misroute: Dict[tuple, Tuple[Candidate, ...]] = {}
         #: (node, dst) -> Escape or None; fault-independent, never cleared.
         self._escape: Dict[Tuple[int, int], Optional[Escape]] = {}
@@ -62,32 +77,40 @@ class RouteCache:
 
     # ------------------------------------------------------------------
     def adaptive_candidates(
-        self, node: int, dst: int, require_safe: Optional[bool]
+        self, node: int, dst: int, require_safe: Optional[bool],
+        honor_restrictions: bool = True,
     ) -> Tuple[Candidate, ...]:
         """Profitable ports passing the fault/safety filter, in order.
 
         ``require_safe`` is the phase key: ``True`` admits only safe
         channels, ``False`` only unsafe ones, ``None`` ignores the
-        designation.  Virtual-channel occupancy is deliberately *not*
-        part of the entry — callers check free VCs live.
+        designation.  ``honor_restrictions=False`` skips the
+        reconfiguration-restriction filter (recovery searches only).
+        Virtual-channel occupancy is deliberately *not* part of the
+        entry — callers check free VCs live.
         """
         self._sync()
-        key = (node, dst, require_safe)
+        key = (node, dst, require_safe, honor_restrictions)
         cached = self._adaptive.get(key)
         if cached is None:
             topo = self.topology
             faulty = self.faults.channel_faulty
             unsafe = self.faults.channel_unsafe
+            restricted = self.faults.channel_restricted
             out: List[Candidate] = []
             for dim, direction in topo.profitable_ports(node, dst):
                 ch = topo.channel_id(node, dim, direction)
                 if faulty[ch]:
                     continue
+                next_node = topo.channel(ch).dst
+                if (honor_restrictions and restricted[ch]
+                        and next_node != dst):
+                    continue
                 if require_safe is True and unsafe[ch]:
                     continue
                 if require_safe is False and not unsafe[ch]:
                     continue
-                out.append((dim, direction, ch, topo.channel(ch).dst))
+                out.append((dim, direction, ch, next_node))
             cached = tuple(out)
             self._adaptive[key] = cached
         return cached
@@ -98,20 +121,23 @@ class RouteCache:
         dst: int,
         arrival: Optional[Tuple[int, int]],
         allow_u_turn: bool,
+        honor_restrictions: bool = True,
     ) -> Tuple[Candidate, ...]:
         """Healthy unprofitable ports in the Theorem 2 preference order.
 
         Premise (iii) of Theorem 2: when misrouting, prefer an output
         channel in the *same dimension* as the input channel.  The
         reverse of the arrival port (a U-turn) is appended last and
-        only when ``allow_u_turn``.
+        only when ``allow_u_turn``.  ``honor_restrictions=False``
+        skips the reconfiguration-restriction filter.
         """
         self._sync()
-        key = (node, dst, arrival, allow_u_turn)
+        key = (node, dst, arrival, allow_u_turn, honor_restrictions)
         cached = self._misroute.get(key)
         if cached is None:
             topo = self.topology
             faulty = self.faults.channel_faulty
+            restricted = self.faults.channel_restricted
             reverse = None
             if arrival is not None:
                 reverse = (arrival[0], -arrival[1])
@@ -125,7 +151,11 @@ class RouteCache:
                 ch = topo.channel_id(node, dim, direction)
                 if faulty[ch]:
                     continue
-                entry = (dim, direction, ch, topo.channel(ch).dst)
+                next_node = topo.channel(ch).dst
+                if (honor_restrictions and restricted[ch]
+                        and next_node != dst):
+                    continue
+                entry = (dim, direction, ch, next_node)
                 if arrival is not None and dim == arrival[0]:
                     same_dim.append(entry)
                 else:
@@ -134,9 +164,12 @@ class RouteCache:
             if allow_u_turn and reverse is not None:
                 ch = topo.channel_id(node, reverse[0], reverse[1])
                 if not faulty[ch]:
-                    out.append(
-                        (reverse[0], reverse[1], ch, topo.channel(ch).dst)
-                    )
+                    rev_next = topo.channel(ch).dst
+                    if (not honor_restrictions or not restricted[ch]
+                            or rev_next == dst):
+                        out.append(
+                            (reverse[0], reverse[1], ch, rev_next)
+                        )
             cached = tuple(out)
             self._misroute[key] = cached
         return cached

@@ -70,16 +70,68 @@ class ResilienceConfig:
     #: Safety valve: give up (raise) after this many victim ejections
     #: in one run — a network needing more is systemically wedged.
     max_deadlock_recoveries: int = 256
+    #: Per-original-message cap on deadlock-recovery ejections: a
+    #: message (counted across its retry clones) ejected this many
+    #: times is no longer an eligible victim, and when *only* capped
+    #: candidates remain the run fails hard instead of livelocking
+    #: recovery on the same pathological cycle.  The natural retry
+    #: budget (``RecoveryConfig.max_source_retries``) bounds ejections
+    #: per origin well below the default, so default behavior is
+    #: unchanged.
+    max_victim_ejections: int = 16
     #: Run the runtime invariant auditor during :meth:`Engine.step`.
     audit_invariants: bool = False
     #: Audit every N cycles (1 = every cycle; audits are O(network)).
     audit_every: int = 64
+
+    # ------------------------------------------------------------------
+    # Online dynamic reconfiguration (repro.reconfig, DESIGN.md §10).
+    # ------------------------------------------------------------------
+    #: Arm the :class:`~repro.reconfig.ReconfigController`: when faults
+    #: accumulate and recovery pressure crosses the threshold, the
+    #: network is drained and a new routing-restriction epoch committed.
+    reconfig: bool = False
+    #: Controller monitor tick period (cycles); also its declared
+    #: fast-forward event horizon.
+    reconfig_check_every: int = 64
+    #: Sliding window (cycles) over which recovery pressure is summed.
+    reconfig_window: int = 512
+    #: Pressure score (weighted recovery-event deltas) that triggers a
+    #: reconfiguration once the fault epoch has moved.
+    reconfig_threshold: int = 4
+    #: Max cycles to wait for in-flight messages to finish during the
+    #: drain phase before stragglers are forcibly ejected.
+    reconfig_drain_timeout: int = 400
+    #: Cycles after a commit before the controller may trigger again.
+    reconfig_cooldown: int = 1024
+    #: Unsafe-ball radius committed at reconfiguration (the lever that
+    #: switches TP to its conservative phase earlier around pockets).
+    reconfig_unsafe_radius: int = 2
+    #: Restrict inbound channels of near-dead-end pockets (iterative
+    #: pruning, see :func:`repro.reconfig.restrictions.compute_plan`).
+    reconfig_prune_dead_ends: bool = True
 
     def __post_init__(self) -> None:
         if self.audit_every < 1:
             raise ValueError("audit_every must be >= 1")
         if self.max_deadlock_recoveries < 0:
             raise ValueError("max_deadlock_recoveries must be >= 0")
+        if self.max_victim_ejections < 1:
+            raise ValueError("max_victim_ejections must be >= 1")
+        if self.reconfig_check_every < 1:
+            raise ValueError("reconfig_check_every must be >= 1")
+        if self.reconfig_window < self.reconfig_check_every:
+            raise ValueError(
+                "reconfig_window must be >= reconfig_check_every"
+            )
+        if self.reconfig_threshold < 1:
+            raise ValueError("reconfig_threshold must be >= 1")
+        if self.reconfig_drain_timeout < 1:
+            raise ValueError("reconfig_drain_timeout must be >= 1")
+        if self.reconfig_cooldown < 0:
+            raise ValueError("reconfig_cooldown must be >= 0")
+        if self.reconfig_unsafe_radius < 1:
+            raise ValueError("reconfig_unsafe_radius must be >= 1")
 
 
 @dataclass

@@ -161,6 +161,36 @@ class _SortedChannelSet:
         return self._view
 
 
+class HookChain:
+    """Compose several ``on_cycle`` hooks into one.
+
+    Hooks run in list order after every cycle.  The chain declares a
+    ``next_event_cycle`` (the minimum of its members') only when every
+    member declares one — a single contract-less member must disable
+    fast-forward for the whole run, which the engine detects by the
+    attribute's absence.
+    """
+
+    def __init__(self, hooks):
+        self.hooks = [h for h in hooks if h is not None]
+        if all(
+            getattr(h, "next_event_cycle", None) is not None
+            for h in self.hooks
+        ):
+            self.next_event_cycle = self._next_event_cycle
+
+    def _next_event_cycle(self, engine) -> Optional[int]:
+        horizons = [
+            h.next_event_cycle(engine) for h in self.hooks
+        ]
+        live = [h for h in horizons if h is not None]
+        return min(live) if live else None
+
+    def __call__(self, engine) -> None:
+        for hook in self.hooks:
+            hook(engine)
+
+
 class Engine:
     """One simulation instance: network state plus the cycle loop."""
 
@@ -256,6 +286,27 @@ class Engine:
         self.deadlock_recoveries = 0
         #: Message ids ejected by deadlock recovery, in order.
         self.deadlock_victims: List[int] = []
+        #: Deadlock-recovery ejections per original message id — the
+        #: re-ejection cap (``resilience.max_victim_ejections``) counts
+        #: a message and all its retry clones as one origin.
+        self._ejections_by_origin: Dict[int, int] = {}
+        #: Victim selections where at least one candidate was excluded
+        #: by the re-ejection cap (surfaced on RunResult).
+        self.victim_cap_hits = 0
+        #: Online reconfiguration (repro.reconfig): while True, headers
+        #: with no reservations yet are held at their source — no new
+        #: path construction begins during the drain/transition window.
+        self.routing_freeze = False
+        #: Committed reconfigurations and their cumulative downtime.
+        self.reconfigurations = 0
+        self.reconfig_downtime_cycles = 0
+        #: Message ids forcibly ejected at a reconfiguration drain
+        #: timeout, in ejection order.
+        self.reconfig_victims: List[int] = []
+        #: Cycle of the most recent recovery action (any teardown or a
+        #: reconfiguration commit) — the storm benchmark's
+        #: recovery-latency proxy; diagnostics only, not in RunResult.
+        self.last_recovery_cycle = 0
         self.auditor: Optional[InvariantAuditor] = (
             InvariantAuditor(self)
             if config.resilience.audit_invariants else None
@@ -456,8 +507,17 @@ class Engine:
             raise DeadlockError(
                 f"{summary}\n{diagnosis.render()}", diagnosis
             )
+        cap_hits_before = self.victim_cap_hits
         victim = postmortem.select_victim(diagnosis, self)
         if victim is None:
+            if self.victim_cap_hits > cap_hits_before:
+                raise DeadlockError(
+                    f"{summary}; victim re-ejection budget "
+                    f"({resilience.max_victim_ejections}) exhausted — "
+                    f"every remaining candidate was already ejected "
+                    f"that many times\n{diagnosis.render()}",
+                    diagnosis,
+                )
             raise DeadlockError(
                 f"{summary}; no recoverable victim\n{diagnosis.render()}",
                 diagnosis,
@@ -471,6 +531,10 @@ class Engine:
             )
         self.deadlock_recoveries += 1
         self.deadlock_victims.append(victim.msg_id)
+        origin = victim.original_id
+        self._ejections_by_origin[origin] = (
+            self._ejections_by_origin.get(origin, 0) + 1
+        )
         self._teardown(victim, "deadlock", victim.header_router)
         self._idle_streak = 0
 
@@ -601,11 +665,20 @@ class Engine:
         queued = MessageStatus.QUEUED
         active = MessageStatus.ACTIVE
         pending_phase = HeaderPhase.PENDING
+        freeze = self.routing_freeze
         for msg in batch.values():
             status = msg.status
             if msg.teardown or (status is not active and status is not queued):
                 continue
             if msg.header_phase is not pending_phase:
+                continue
+            # Reconfiguration drain: a header that has not reserved
+            # anything yet is held at its source — no new path
+            # construction may begin while the restriction epoch is in
+            # transition.  The hold is not a WAIT: it neither consumes
+            # the header-wait budget nor counts as congestion.
+            if freeze and not msg.path:
+                pending[msg.msg_id] = msg
                 continue
             # Livelock valve: abort headers that wander too long (the
             # cap is constant per message, computed at creation).
@@ -1019,6 +1092,7 @@ class Engine:
         self.teardown_counts["fault"] = (
             self.teardown_counts.get("fault", 0) + 1
         )
+        self.last_recovery_cycle = self.cycle
         msg.header_phase = HeaderPhase.GONE
         self.pending.pop(msg.msg_id, None)
         self._release_link(msg, fail_idx)
@@ -1058,6 +1132,7 @@ class Engine:
         self.teardown_counts[reason] = (
             self.teardown_counts.get(reason, 0) + 1
         )
+        self.last_recovery_cycle = self.cycle
         msg.header_phase = HeaderPhase.GONE
         self.pending.pop(msg.msg_id, None)
         self._progress = True

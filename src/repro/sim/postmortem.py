@@ -266,10 +266,37 @@ def select_victim(diagnosis: DeadlockDiagnosis, engine) -> Optional[Message]:
     a pool the victim is the message with the least committed data
     (cheapest to retry from the source), ties broken by lowest id for
     determinism.
+
+    Two further exclusions bound pathological recovery:
+
+    * **re-ejection cap** — a message whose origin (itself plus its
+      retry clones, keyed by ``original_id``) has already been ejected
+      ``resilience.max_victim_ejections`` times is skipped; when the
+      cap excluded at least one candidate the engine's
+      ``victim_cap_hits`` counter is bumped, and if *no* victim
+      remains at all the engine escalates to a hard
+      :class:`~repro.sim.engine.DeadlockError` instead of livelocking
+      recovery on the same cycle forever;
+    * **reconfiguration freeze** — while ``engine.routing_freeze``
+      holds headers at their sources, a message with no reservations
+      yet owns no virtual channel, cannot be a holder in any wait
+      cycle, and ejecting it could not unblock anything, so it is
+      never selected.
     """
+    cap = engine.config.resilience.max_victim_ejections
+    ejections = engine._ejections_by_origin
+    freeze = engine.routing_freeze
+    capped = False
+
     def eligible(msg_id: int) -> Optional[Message]:
+        nonlocal capped
         msg = engine.messages.get(msg_id)
         if msg is None or msg.teardown or msg.is_terminal():
+            return None
+        if freeze and not msg.path:
+            return None
+        if ejections.get(msg.original_id, 0) >= cap:
+            capped = True
             return None
         return msg
 
@@ -278,10 +305,14 @@ def select_victim(diagnosis: DeadlockDiagnosis, engine) -> Optional[Message]:
         diagnosis.blocked,
         list(engine.active),
     ]
+    victim: Optional[Message] = None
     for pool in pools:
         candidates = [m for m in map(eligible, pool) if m is not None]
         if candidates:
-            return min(
+            victim = min(
                 candidates, key=lambda m: (m.injected_flits, m.msg_id)
             )
-    return None
+            break
+    if capped:
+        engine.victim_cap_hits += 1
+    return victim

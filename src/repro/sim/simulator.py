@@ -27,11 +27,12 @@ from repro.faults.injection import (
 )
 from repro.faults.model import FaultState
 from repro.network.topology import KAryNCube
+from repro.reconfig.controller import ReconfigController
 from repro.routing.duato import DuatoProtocol
 from repro.routing.mb import MBmProtocol
 from repro.routing.oblivious import DimensionOrderProtocol
 from repro.sim.config import SimulationConfig
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, HookChain
 from repro.sim.stats import RunResult, summarize
 from repro.sim.traffic import TrafficGenerator
 
@@ -114,6 +115,13 @@ class NetworkSimulator:
             dynamic_schedule=schedule,
         )
 
+        #: Online reconfiguration controller (DESIGN.md §10), armed by
+        #: ``resilience.reconfig`` and composed after any user hook.
+        self.reconfig: Optional[ReconfigController] = (
+            ReconfigController(config.resilience)
+            if config.resilience.reconfig else None
+        )
+
     def run(self, on_cycle=None) -> RunResult:
         """Warmup + measurement, then drain, then summarize.
 
@@ -126,8 +134,24 @@ class NetworkSimulator:
         enabled (skipped cycles are provably no-ops for it); any other
         hook falls back to cycle-by-cycle execution — see
         :meth:`repro.sim.engine.Engine.run`.
+
+        With ``resilience.reconfig`` the
+        :class:`~repro.reconfig.ReconfigController` runs as an
+        additional hook after the caller's (both declare their event
+        horizons, so fast-forward survives the composition); a
+        reconfiguration still draining at the end of measurement is
+        cancelled before the engine drain so the freeze cannot leak
+        into it.
         """
-        self.engine.run(self.config.total_cycles, on_cycle=on_cycle)
+        hook = on_cycle
+        if self.reconfig is not None:
+            hook = (
+                HookChain([on_cycle, self.reconfig])
+                if on_cycle is not None else self.reconfig
+            )
+        self.engine.run(self.config.total_cycles, on_cycle=hook)
+        if self.reconfig is not None:
+            self.reconfig.finalize(self.engine)
         if self.config.drain_cycles:
             self.engine.drain(self.config.drain_cycles)
         return self.results()

@@ -107,8 +107,18 @@ class RunResult:
     deadlock_recoveries: int = 0
     #: Message ids ejected by deadlock recovery, in ejection order.
     deadlock_victims: List[int] = field(default_factory=list)
-    #: Path teardowns by reason ("fault" / "abort" / "deadlock").
+    #: Path teardowns by reason ("fault" / "abort" / "deadlock" /
+    #: "reconfig").
     teardown_counts: dict = field(default_factory=dict)
+    #: Victim selections where the per-origin re-ejection cap
+    #: (``resilience.max_victim_ejections``) excluded a candidate.
+    victim_cap_hits: int = 0
+    #: Online reconfigurations committed (repro.reconfig) and their
+    #: cumulative drain downtime in cycles.
+    reconfigurations: int = 0
+    reconfig_downtime: int = 0
+    #: Message ids forcibly ejected at reconfiguration drain timeouts.
+    reconfig_victims: List[int] = field(default_factory=list)
     #: Invariant audits run during the simulation (0 = auditor off).
     invariant_checks: int = 0
     #: Whether the network fully drained (no active messages, empty
@@ -181,6 +191,10 @@ def summarize(engine, warmup: int) -> RunResult:
         deadlock_recoveries=engine.deadlock_recoveries,
         deadlock_victims=list(engine.deadlock_victims),
         teardown_counts=dict(engine.teardown_counts),
+        victim_cap_hits=engine.victim_cap_hits,
+        reconfigurations=engine.reconfigurations,
+        reconfig_downtime=engine.reconfig_downtime_cycles,
+        reconfig_victims=list(engine.reconfig_victims),
         invariant_checks=(
             engine.auditor.checks_run if engine.auditor is not None else 0
         ),

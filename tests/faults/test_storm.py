@@ -1,0 +1,130 @@
+"""Storm resilience benchmark: determinism (fast-forward on/off,
+parallel == serial), report shape, and CLI exit codes — including the
+nonzero-exit contract CI gates on for both campaign subcommands."""
+
+from repro.cli import main as cli_main
+from repro.faults.chaos import (
+    ARMS,
+    STORM_SCENARIOS,
+    ChaosCampaignResult,
+    ChaosRunRecord,
+    ChaosSpec,
+    StormCampaignResult,
+    StormSpec,
+    run_storm_campaign,
+    run_storm_one,
+    storm_record_dicts,
+)
+
+
+def small_spec(**overrides) -> StormSpec:
+    base = dict(
+        seeds=(0,), scenarios=("linkstorm",), k=4,
+        warmup_cycles=100, measure_cycles=600, drain_cycles=10_000,
+        settle_cycles=100,
+    )
+    base.update(overrides)
+    return StormSpec(**base)
+
+
+class TestStormRuns:
+    def test_both_arms_run_clean_and_inject_faults(self):
+        for arm in ARMS:
+            record = run_storm_one(small_spec(), "linkstorm", 0, arm)
+            assert record.ok, record.error
+            assert record.faults_injected > 0
+            assert 0.0 <= record.storm_delivery_ratio <= 1.0
+            assert record.storm_delivered <= record.delivered
+
+    def test_reconfig_arm_only_reconfigures(self):
+        spec = small_spec(scenarios=("gridlock",), k=6, seeds=(0,),
+                          measure_cycles=1500)
+        tp = run_storm_one(spec, "gridlock", 0, "tp-only")
+        rc = run_storm_one(spec, "gridlock", 0, "reconfig")
+        assert tp.reconfigurations == 0
+        assert tp.reconfig_downtime == 0
+        assert rc.reconfigurations > 0
+
+    def test_fast_forward_on_off_identical(self):
+        """The controller's event horizon must make storm runs
+        byte-identical with the quiescence skip on and off."""
+        for arm in ARMS:
+            on = run_storm_one(
+                small_spec(fast_forward=True), "linkstorm", 0, arm
+            )
+            off = run_storm_one(
+                small_spec(fast_forward=False), "linkstorm", 0, arm
+            )
+            assert on == off
+
+
+class TestStormCampaign:
+    def test_parallel_equals_serial(self):
+        spec = small_spec(seeds=(0, 1))
+        serial = run_storm_campaign(spec, jobs=1)
+        parallel = run_storm_campaign(spec, jobs=2)
+        assert storm_record_dicts(serial) == storm_record_dicts(parallel)
+
+    def test_report_shape_is_compare_bench_compatible(self):
+        result = run_storm_campaign(small_spec(), jobs=1)
+        report = result.report()
+        assert report["ok"]
+        workloads = {row["workload"] for row in report["workloads"]}
+        assert workloads == {
+            f"linkstorm/{arm}" for arm in ARMS
+        }
+        for row in report["workloads"]:
+            assert "storm_delivery_ratio" in row
+            assert "recovery_latency_mean" in row
+            assert "reconfig_downtime" in row
+
+    def test_render_reports_verdict(self):
+        result = run_storm_campaign(small_spec(), jobs=1)
+        assert "PASS" in result.render()
+
+    def test_default_spec_covers_acceptance_scenario(self):
+        assert "gridlock" in StormSpec().scenarios
+        assert "gridlock" in STORM_SCENARIOS
+        assert tuple(StormSpec().arms) == ARMS
+
+
+class TestCliExitCodes:
+    def test_storm_subcommand_runs_and_passes(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_resilience.json"
+        rc = cli_main([
+            "storm", "--seeds", "1", "--scenarios", "linkstorm",
+            "--k", "4", "--out", str(out_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "PASS" in out
+        assert out_path.exists()
+
+    def test_storm_unknown_scenario_exits_2(self, capsys):
+        assert cli_main(["storm", "--scenarios", "nope"]) == 2
+
+    def test_storm_failure_exits_nonzero(self, capsys, monkeypatch):
+        import repro.faults.chaos as chaos
+
+        failing = StormCampaignResult(spec=StormSpec())
+        monkeypatch.setattr(
+            chaos, "run_storm_campaign", lambda spec, jobs=None: failing
+        )
+        assert cli_main(["storm"]) == 1
+
+    def test_chaos_failure_exits_nonzero(self, capsys, monkeypatch):
+        """CI gates on this: a campaign with any failed run must not
+        exit 0."""
+        import repro.faults.chaos as chaos
+
+        bad_run = ChaosRunRecord(
+            seed=0, protocol="tp", faults_injected=1, triggers_hit=[],
+            recoveries=0, victims=[], teardown_counts={}, delivered=0,
+            dropped=0, killed=0, invariant_checks=1,
+            invariant_violations=1, drained=True, accounted=True,
+        )
+        failing = ChaosCampaignResult(spec=ChaosSpec(), runs=[bad_run])
+        monkeypatch.setattr(
+            chaos, "run_campaign", lambda spec, jobs=None: failing
+        )
+        assert cli_main(["chaos"]) == 1

@@ -135,6 +135,39 @@ def _audited_cfg():
     )
 
 
+def _reconfig_cfg():
+    # Online reconfiguration: accumulating dynamic link faults push
+    # recovery pressure over the threshold, so the controller's
+    # monitor/drain/commit cycle (and its event horizon) is exercised.
+    return SimulationConfig(
+        k=6, n=2, protocol="tp", offered_load=0.08, message_length=8,
+        warmup_cycles=150, measure_cycles=800, drain_cycles=4000,
+        seed=9, watchdog_cycles=120, max_header_wait=6000,
+        faults=FaultConfig(dynamic_faults=8, dynamic_start=150),
+        resilience=ResilienceConfig(
+            audit_invariants=True, audit_every=20,
+            reconfig=True, reconfig_check_every=16,
+            reconfig_window=256, reconfig_threshold=2,
+            reconfig_drain_timeout=120, reconfig_cooldown=300,
+            reconfig_unsafe_radius=2,
+        ),
+    )
+
+
+def _reconfig_idle_cfg():
+    # Reconfiguration armed but never triggered on a mostly-quiescent
+    # network: the controller's monitor ticks join the event horizon
+    # and must not break the quiescence skip.
+    return SimulationConfig(
+        k=6, n=2, protocol="tp", offered_load=0.005, message_length=8,
+        warmup_cycles=300, measure_cycles=2500, drain_cycles=2000,
+        seed=5,
+        resilience=ResilienceConfig(
+            audit_invariants=True, audit_every=50, reconfig=True,
+        ),
+    )
+
+
 #: Workload-catalog matrix (EXPERIMENTS.md): every traffic pattern must
 #: honor the injection-process fast-forward contract, including bursty
 #: dwell draws and the hotspot/bursty combination.  Low load so the
@@ -178,6 +211,8 @@ PINNED_CONFIGS = {
     "deadlock-recovery": _deadlock_recovery_cfg,
     "low-load-idle": _low_load_idle_cfg,
     "audited": _audited_cfg,
+    "reconfig": _reconfig_cfg,
+    "reconfig-idle": _reconfig_idle_cfg,
 }
 
 
@@ -224,6 +259,26 @@ def test_dynamic_fault_determinism():
         "scenario must actually exercise fault teardown"
     )
     assert_identical(a, b)
+
+
+def test_reconfig_determinism():
+    """Online reconfiguration (drain, ejection order, commit cycle)
+    must replay exactly, and the pinned scenario must actually
+    reconfigure — otherwise its matrix entries prove nothing."""
+    cfg = _reconfig_cfg()
+    a, b = run_twice(cfg)
+    assert a.delivered > 0
+    assert a.reconfigurations > 0, (
+        "scenario must actually commit a reconfiguration"
+    )
+    assert_identical(a, b)
+
+
+def test_reconfig_idle_never_triggers():
+    """The idle pinned config arms the controller without firing it."""
+    result = NetworkSimulator(_reconfig_idle_cfg()).run()
+    assert result.reconfigurations == 0
+    assert result.reconfig_downtime == 0
 
 
 def test_hardware_ack_determinism():
@@ -338,5 +393,22 @@ def test_parallel_run_configs_fast_forward_composition():
     off = run_configs(
         [base.with_(seed=s, fast_forward=False) for s in seeds], jobs=1
     )
+    for a, b in zip(on, off):
+        assert_identical(a, b)
+
+
+def test_parallel_run_configs_reconfig_composition():
+    """Reconfiguration-enabled runs survive the same parallel/serial,
+    fast-forward on/off cross — workers rebuild the controller from the
+    config and must replay the drain/commit sequence exactly."""
+    base = _reconfig_cfg()
+    seeds = (9, 19)
+    on = run_configs(
+        [base.with_(seed=s, fast_forward=True) for s in seeds], jobs=2
+    )
+    off = run_configs(
+        [base.with_(seed=s, fast_forward=False) for s in seeds], jobs=1
+    )
+    assert any(r.reconfigurations > 0 for r in on)
     for a, b in zip(on, off):
         assert_identical(a, b)

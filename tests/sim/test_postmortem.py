@@ -93,6 +93,36 @@ class TestSelectVictim:
         diagnosis = postmortem.diagnose(engine)
         assert postmortem.select_victim(diagnosis, engine) is None
 
+    def test_capped_origins_are_skipped_and_counted(self):
+        """A message ejected max_victim_ejections times (by origin, so
+        retry clones share the budget) is never selected again."""
+        engine, msg_a, msg_b = wedged_engine()
+        cap = engine.config.resilience.max_victim_ejections
+        engine._ejections_by_origin[msg_a.original_id] = cap
+        diagnosis = postmortem.diagnose(engine)
+        victim = postmortem.select_victim(diagnosis, engine)
+        assert victim is msg_b
+        assert engine.victim_cap_hits == 1
+
+    def test_all_candidates_capped_returns_none(self):
+        engine, msg_a, msg_b = wedged_engine()
+        cap = engine.config.resilience.max_victim_ejections
+        engine._ejections_by_origin[msg_a.original_id] = cap
+        engine._ejections_by_origin[msg_b.original_id] = cap
+        diagnosis = postmortem.diagnose(engine)
+        assert postmortem.select_victim(diagnosis, engine) is None
+        assert engine.victim_cap_hits == 1
+
+    def test_frozen_source_held_messages_are_not_victims(self):
+        """Under routing_freeze a path-empty header owns no VCs —
+        ejecting it could not unblock anything."""
+        engine, msg_a, msg_b = wedged_engine()
+        engine.routing_freeze = True
+        assert not msg_a.path and not msg_b.path
+        diagnosis = postmortem.diagnose(engine)
+        assert postmortem.select_victim(diagnosis, engine) is None
+        assert engine.victim_cap_hits == 0
+
 
 def gridlock_config(**overrides) -> SimulationConfig:
     """Naive (dateline-free) dimension-order: genuinely deadlocks."""

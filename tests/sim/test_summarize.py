@@ -31,6 +31,10 @@ class StubEngine:
         self.deadlock_recoveries = 0
         self.deadlock_victims = []
         self.teardown_counts = {}
+        self.victim_cap_hits = 0
+        self.reconfigurations = 0
+        self.reconfig_downtime_cycles = 0
+        self.reconfig_victims = []
         self.auditor = None
         self.active = {}
         self.queues = [[] for _ in range(self.topology.num_nodes)]
