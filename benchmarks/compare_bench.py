@@ -17,10 +17,13 @@ does not break the comparison.
 ``repro.experiments.saturation`` share the same shape, so
 ``--key knee_throughput`` diffs two ``BENCH_saturation.json`` files.
 
-CI runs this informationally against the committed snapshot (the
-numbers are machine-dependent, so it must not gate merges there); run
-it locally against a baseline produced on the same machine to validate
-an engine optimisation.
+CI runs this twice against the committed snapshot: once over every
+workload informationally (the numbers are machine-dependent, so small
+deltas are hints, not verdicts), and once as a hard gate with
+``--workloads tp-high,dp-high --threshold 0.25`` — a saturated
+workload losing more than a quarter of its cycles/s is an engine
+regression, not runner noise.  Run it locally against a baseline
+produced on the same machine to validate an engine optimisation.
 """
 
 from __future__ import annotations
@@ -39,18 +42,26 @@ def load_rows(path: pathlib.Path) -> dict:
 
 
 def compare(baseline: dict, current: dict, threshold: float,
-            key: str = "cycles_per_sec"):
+            key: str = "cycles_per_sec",
+            workloads: Optional[List[str]] = None):
     """Per-workload comparison rows plus the list of regressions.
 
     Returns ``(rows, regressions)``; each row is a dict with the
     workload name, both ``key`` figures (``None`` when the workload
     is missing on that side), and ``delta`` (relative change, ``None``
     unless present on both sides).  ``regressions`` lists the names
-    whose figure dropped by more than ``threshold``.
+    whose figure dropped by more than ``threshold``.  ``workloads``
+    restricts the comparison (and therefore the verdict) to the named
+    subset — the CI perf gate uses it to assert only on the saturated
+    workloads, whose throughput is dominated by engine work rather
+    than scheduling noise.
     """
+    names = set(baseline) | set(current)
+    if workloads is not None:
+        names &= set(workloads)
     rows: List[dict] = []
     regressions: List[str] = []
-    for name in sorted(set(baseline) | set(current)):
+    for name in sorted(names):
         base = baseline.get(name)
         cur = current.get(name)
         base_cps: Optional[float] = base and base.get(key)
@@ -123,10 +134,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             "use knee_throughput for BENCH_saturation.json)"
         ),
     )
+    parser.add_argument(
+        "--workloads", default=None,
+        help=(
+            "comma-separated workload names to compare; everything "
+            "else is excluded from the table and the verdict "
+            "(CI gates only the saturated workloads this way)"
+        ),
+    )
     args = parser.parse_args(argv)
+    workloads = (
+        [w for w in args.workloads.split(",") if w]
+        if args.workloads else None
+    )
     rows, regressions = compare(
         load_rows(args.baseline), load_rows(args.current),
-        args.threshold, key=args.key,
+        args.threshold, key=args.key, workloads=workloads,
     )
     print(render(rows, regressions, args.threshold))
     return 1 if regressions else 0

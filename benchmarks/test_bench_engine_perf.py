@@ -3,10 +3,11 @@
 Times single simulation runs (no replication) across a small
 protocol / load / fault grid and records wall-clock time plus simulated
 cycles per second in ``BENCH_engine.json`` at the repository root,
-which CI uploads as an informational artifact.  The numbers track the
-engine's hot-path cost; they gate nothing (they are machine-dependent),
-but the JSON history makes slowdowns visible next to the functional
-figure benchmarks.
+which CI uploads as an artifact.  The numbers track the engine's
+hot-path cost; most are informational (machine-dependent), but CI's
+perf-smoke job hard-fails when a *saturated* workload (``tp-high``,
+``dp-high``) loses more than 25% cycles/s against the committed
+snapshot — see ``benchmarks/compare_bench.py --workloads``.
 """
 
 import json
@@ -32,6 +33,7 @@ WORKLOADS = (
     ("tp-high", "tp", {"k_unsafe": 0}, 0.28, 0, {}),
     ("tp-dynamic-faults", "tp", {"k_unsafe": 0}, 0.10, 2, {}),
     ("dp-low", "dp", {}, 0.10, 0, {}),
+    ("dp-high", "dp", {}, 0.28, 0, {}),
     ("mb-low", "mb", {}, 0.10, 0, {}),
     ("tp-idle-long", "tp", {"k_unsafe": 0}, 0.002, 0,
      {"warmup_cycles": 2000, "measure_cycles": 60_000,

@@ -141,7 +141,25 @@ def find_knee(
 
     Every probe at a distinct load uses a distinct ``base_seed`` offset
     so replications never share seeds across loads.
+
+    Raises :class:`ValueError` on a non-positive ``tolerance`` (the
+    bisection would never terminate) or an empty load range, and
+    :class:`RuntimeError` when no knee exists in range: the zero-load
+    baseline itself never drains (or delivers nothing), or every probe
+    above ``low_load`` saturates so the knee was never bracketed from
+    below — in both cases the honest answer is "the knee lies at or
+    below the probe floor", not a fabricated ``knee_load == low_load``.
     """
+    if not (math.isfinite(tolerance) and tolerance > 0):
+        raise ValueError(
+            f"tolerance must be finite and > 0, got {tolerance} "
+            "(bisection would never terminate)"
+        )
+    if not 0 < low_load < max_load:
+        raise ValueError(
+            f"need 0 < low_load < max_load, got low_load={low_load}, "
+            f"max_load={max_load}"
+        )
     probes: List[KneeProbe] = []
 
     def measure(load: float, threshold: float) -> KneeProbe:
@@ -154,10 +172,21 @@ def find_knee(
         return p
 
     base = measure(low_load, float("inf"))
-    if math.isnan(base.latency) or math.isinf(base.latency):
+    if math.isinf(base.latency):
+        # _probe maps an all-replications-undrained run_point to an
+        # infinite-latency probe; at the baseline that means the
+        # network is wedged below the probe floor.
         raise RuntimeError(
-            f"pattern {traffic!r} saturates even at the zero-load probe "
-            f"({low_load}); lower low_load"
+            f"pattern {traffic!r}: no replication drained at the "
+            f"zero-load baseline probe ({low_load}); the network "
+            "saturates below the probe floor — lower low_load"
+        )
+    if math.isnan(base.latency):
+        raise RuntimeError(
+            f"pattern {traffic!r}: the zero-load baseline probe "
+            f"({low_load}) delivered no messages, so there is no "
+            "baseline latency to define the saturation threshold — "
+            "lower low_load or lengthen the measurement window"
         )
     threshold = latency_factor * base.latency
 
@@ -184,6 +213,20 @@ def find_knee(
                 hi = mid
             else:
                 lo, lo_probe = mid, p
+
+    # ``lo`` only moves off ``low_load`` when a probe *above* the
+    # baseline came back unsaturated.  If it never did, the knee was
+    # never bracketed from below: the baseline cannot certify its own
+    # load (it is measured against an infinite threshold), so
+    # returning ``knee_load == low_load`` would fabricate a knee for a
+    # network that may saturate below the probe floor.
+    if math.isfinite(hi) and lo == low_load:
+        raise RuntimeError(
+            f"pattern {traffic!r}: the first probe above the baseline "
+            f"already saturated and bisection found no unsaturated "
+            f"load in ({low_load}, {hi:.6g}); the knee lies at or "
+            "below the zero-load probe — lower low_load"
+        )
 
     return KneeResult(
         pattern=traffic,

@@ -63,7 +63,10 @@ class VirtualChannel:
     reservation state and identity.
     """
 
-    __slots__ = ("channel_id", "index", "vclass", "state", "owner", "grants")
+    __slots__ = (
+        "channel_id", "index", "vclass", "state", "owner", "grants",
+        "notify_release",
+    )
 
     def __init__(self, channel_id: int, index: int, vclass: VCClass):
         self.channel_id = channel_id
@@ -75,6 +78,14 @@ class VirtualChannel:
         #: Total times this VC won physical-channel arbitration
         #: (utilization statistic).
         self.grants = 0
+        #: State-change notification for the event-driven engine:
+        #: called with the channel id on every release, no matter which
+        #: subsystem triggered it (tail teardown, backtracking header,
+        #: kill flit, dynamic-fault cleanup) — a release is the only
+        #: transition that can unblock a parked routing header, so the
+        #: engine funnels all of them through this single point instead
+        #: of auditing call sites.  ``None`` when no engine listens.
+        self.notify_release = None
 
     @property
     def is_free(self) -> bool:
@@ -96,6 +107,9 @@ class VirtualChannel:
             )
         self.state = VCState.FREE
         self.owner = None
+        notify = self.notify_release
+        if notify is not None:
+            notify(self.channel_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -140,6 +154,12 @@ class ChannelBank:
             ]
             for ch in range(num_channels)
         ]
+
+    def set_release_notify(self, callback) -> None:
+        """Subscribe ``callback(channel_id)`` to every VC release."""
+        for row in self._vcs:
+            for vc in row:
+                vc.notify_release = callback
 
     def vcs(self, channel_id: int) -> List[VirtualChannel]:
         return self._vcs[channel_id]

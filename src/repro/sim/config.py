@@ -187,6 +187,18 @@ class SimulationConfig:
     #: disable only when instrumenting every cycle with a hook that does
     #: not declare its next event (see DESIGN.md §8).
     fast_forward: bool = True
+    #: Event-driven engine core (DESIGN.md §11): per-cycle work is
+    #: proportional to *events* — headers that can decide, flits that
+    #: can move, injection queues with something to launch — instead of
+    #: scanning every live message and busy queue each cycle.  Blocked
+    #: routing headers park until a wake condition (a virtual-channel
+    #: release at their router, a fault-epoch change, or their timed
+    #: retry) can change the decision; messages whose data pipeline
+    #: cannot move stay skipped until a state-change notification
+    #: re-arms them.  Results are cycle-for-cycle identical to the
+    #: brute-force scans (pinned by tests/sim/test_determinism.py across
+    #: the on/off matrix); the switch exists as the equivalence oracle.
+    event_engine: bool = True
     #: After measurement, keep cycling (no new traffic) until in-flight
     #: messages finish, up to this many extra cycles.
     drain_cycles: int = 4000

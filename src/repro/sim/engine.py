@@ -51,13 +51,28 @@ exactly (validated by the integration tests).
 
 Scheduling: every phase works from *active sets* rather than full
 rescans — the pending-header dict is swapped (not copied) each cycle,
-the control/ack channel sets keep an incrementally maintained ascending
-order instead of being re-sorted twice per cycle, and the dynamic-fault
-phase is an O(1) peek on cycles with nothing scheduled.  All of this is
-behavior-preserving: the same seed replays the exact same cycle-for-
-cycle execution (guarded by the determinism regression suite in
-``tests/sim/test_determinism.py``), which is also what lets the
-parallel campaign runner guarantee serial-equivalent results.
+the control/ack channel sets and the busy injection-queue set keep an
+incrementally maintained ascending order instead of being re-sorted
+per cycle, and the dynamic-fault phase is an O(1) peek on cycles with
+nothing scheduled.  With ``SimulationConfig.event_engine`` (the
+default, DESIGN.md §11) the engine goes further and makes per-cycle
+work proportional to *events* rather than live messages: blocked
+routing headers park until a wake condition — a virtual-channel
+release at their router (funneled through
+:meth:`ChannelBank.set_release_notify`), a fault-epoch change, or
+their timed retry cycle — can change the decision's outcome; messages
+whose data pipeline proved immovable are flagged quiet and skipped
+until a state-change notification (reservation, backtrack, header
+arrival, staged gate update) re-arms them; and the launch loop visits
+only nodes whose injection queue was touched this cycle (arrival,
+requeue, head freed) instead of every busy queue.  Timed events
+(armed dynamic faults, audit ticks, hook events) share one
+:meth:`Engine.next_event_horizon`, which the quiescence fast-forward
+also jumps by.  All of this is behavior-preserving: the same seed
+replays the exact same cycle-for-cycle execution (guarded by the
+determinism regression suite in ``tests/sim/test_determinism.py``,
+including the event-engine on/off oracle matrix), which is also what
+lets the parallel campaign runner guarantee serial-equivalent results.
 """
 
 from __future__ import annotations
@@ -89,6 +104,10 @@ from repro.sim.message import (
 from repro.sim.stats import MessageRecord
 from repro.sim.traffic import TrafficGenerator, make_injection_process
 
+#: Sentinel wake cycle for parked headers with no timed retry armed:
+#: only a channel release or a fault-epoch change can wake them.
+_NEVER = 1 << 62
+
 
 class DeadlockError(RuntimeError):
     """Raised when the network makes no progress for the watchdog window.
@@ -104,16 +123,18 @@ class DeadlockError(RuntimeError):
         self.diagnosis = diagnosis
 
 
-class _SortedChannelSet:
-    """Active channel ids, iterable in ascending order without re-sorting.
+class _SortedIntSet:
+    """Int ids (channels, nodes), iterable in ascending order without
+    re-sorting.
 
     Membership is a plain set (O(1) add/discard, truth-testing); the
     ascending iteration order the engine's deterministic replay relies
     on comes from a cached sorted view that is rebuilt only when the
-    membership actually changed since the last snapshot — on idle cycles
-    (the common case at low load) taking a snapshot costs nothing,
-    versus the two unconditional ``sorted()`` calls per cycle the
-    original scheduler paid.
+    membership actually changed since the last snapshot — on cycles
+    where the set did not change (the common case) taking a snapshot
+    costs nothing, versus the unconditional ``sorted()`` call per cycle
+    the original scheduler paid.  Used for the active control/ack
+    channel sets and the busy injection-queue set.
     """
 
     __slots__ = ("_members", "_view", "_dirty")
@@ -231,14 +252,14 @@ class Engine:
         self.control_out: List[ControlQueue] = [
             ControlQueue() for _ in range(num_ch)
         ]
-        self._active_ctrl = _SortedChannelSet()
+        self._active_ctrl = _SortedIntSet()
         #: Dedicated acknowledgment wires (Section 7.0 future work):
         #: only used when ``config.hardware_acks`` — one ack per channel
         #: per cycle, not competing with the flit slot.
         self.ack_out: List[ControlQueue] = [
             ControlQueue() for _ in range(num_ch)
         ]
-        self._active_ack = _SortedChannelSet()
+        self._active_ack = _SortedIntSet()
         self._arbiters = [
             RoundRobinArbiter(self.channels.vcs_per_channel)
             for _ in range(num_ch)
@@ -255,8 +276,10 @@ class Engine:
         ]
         #: Nodes whose injection queue may be non-empty (a superset —
         #: the launch phase prunes nodes it finds drained), so the
-        #: per-cycle launch scan touches only busy queues.
-        self._busy_queues: Set[int] = set()
+        #: per-cycle launch scan touches only busy queues, in an
+        #: incrementally maintained ascending order (sort on mutation,
+        #: not per cycle).
+        self._busy_queues = _SortedIntSet()
         self._next_msg_id = 0
         #: Per-node id of the message most recently granted ejection
         #: (round-robin fairness on the PE link).
@@ -335,6 +358,43 @@ class Engine:
         self._staged_acks: List[Tuple[Message, int, int]] = []
         self._staged_path: List[Tuple[Message, int, bool]] = []
 
+        # ------------------------------------------------------------------
+        # Event-driven core (DESIGN.md §11).  Per-cycle work tracks
+        # *events* instead of live state: blocked headers park on wake
+        # conditions, immobile messages go quiet until a state-change
+        # notification, and the launch phase visits only nodes whose
+        # queue head could have changed.  All of it is gated on
+        # ``config.event_engine`` so the brute-force scans remain
+        # available as the equivalence oracle.
+        # ------------------------------------------------------------------
+        self._ev = config.event_engine
+        #: Per-node release version: bumped whenever a virtual channel
+        #: whose physical channel *originates* at the node is released.
+        #: A parked header at that node re-decides when the version
+        #: moves — a release of an outgoing VC is the only channel-state
+        #: transition that can turn its WAIT into progress.
+        self._node_rel_ver: List[int] = [0] * self.topology.num_nodes
+        self._ch_src: List[int] = [
+            self.topology.channel(ch).src for ch in range(num_ch)
+        ]
+        if self._ev:
+            self.channels.set_release_notify(self._note_release)
+        #: Reserved-VC count per physical channel.  A channel with
+        #: exactly one reserved VC can have at most one data-movement
+        #: candidate this cycle (wormhole: one message per VC), so that
+        #: candidate wins arbitration unopposed — the event path then
+        #: moves the flit inline during the scan instead of routing it
+        #: through the per-channel candidate buckets.  Maintained only
+        #: in event mode (reserve increments, the release notification
+        #: decrements).
+        self._ch_resident: List[int] = [0] * num_ch
+        #: Launch-phase attention set: nodes whose injection-queue head
+        #: may act this cycle (new arrival, head finished injecting,
+        #: head finalized/tail-acked/requeued).  Visiting any other busy
+        #: node is provably a no-op, so the event path iterates this
+        #: set instead of every busy queue.
+        self._launch_attn: Set[int] = set()
+
     def in_measure_window(self) -> bool:
         return self._measuring_from < self.cycle <= self._measuring_to
 
@@ -374,12 +434,7 @@ class Engine:
             return
         while self.cycle < target:
             if self._quiescent():
-                limit = target
-                if hook_horizon is not None:
-                    horizon = hook_horizon(self)
-                    if horizon is not None and horizon - 1 < limit:
-                        limit = horizon - 1
-                self._fast_forward(limit)
+                self._fast_forward(target, hook_horizon)
                 if self.cycle >= target:
                     break
             self.step()
@@ -421,19 +476,25 @@ class Engine:
             and not self._staged_path
         )
 
-    def _fast_forward(self, limit: int) -> None:
-        """From a quiescent state, jump to just before the event horizon.
+    def next_event_horizon(self, limit: int, hook_horizon=None) -> int:
+        """Latest cycle a quiescent clock may jump to without skipping
+        an event.
 
-        The horizon is the earliest of ``limit`` (the run target or the
-        hook's declared next event), the next armed dynamic fault, the
-        next invariant-audit tick, and the next injection arrival —
-        known exactly from the injection process's gap/dwell state
-        (``idle_cycles``), which ``skip_cycles`` then debits without
-        RNG draws so the stream continues precisely where the
-        cycle-by-cycle path would have left it.  The first cycle that
-        can change state is then executed by the ordinary :meth:`step`.
+        Every source of *timed* events is folded into one horizon: the
+        instrumentation hook's declared next event, the next armed
+        dynamic fault, and the next invariant-audit tick.  The return
+        value is the cycle just *before* the earliest of them, capped
+        at ``limit`` (the run target).  The one remaining event source
+        — the next injection arrival — is intentionally not folded in
+        here, because it is known only from the injection process's
+        private gap/dwell state; :meth:`_fast_forward` clips on it
+        separately.
         """
         stop = limit
+        if hook_horizon is not None:
+            horizon = hook_horizon(self)
+            if horizon is not None and horizon - 1 < stop:
+                stop = horizon - 1
         if self.dynamic_schedule is not None:
             nxt = self.dynamic_schedule.next_cycle()
             if nxt is not None and nxt - 1 < stop:
@@ -442,7 +503,20 @@ class Engine:
             tick = self.auditor.next_audit_cycle(self.cycle) - 1
             if tick < stop:
                 stop = tick
-        skip = stop - self.cycle
+        return stop
+
+    def _fast_forward(self, limit: int, hook_horizon=None) -> None:
+        """From a quiescent state, jump to just before the event horizon.
+
+        The horizon (:meth:`next_event_horizon`) is clipped once more
+        on the next injection arrival — known exactly from the
+        injection process's gap/dwell state (``idle_cycles``), which
+        ``skip_cycles`` then debits without RNG draws so the stream
+        continues precisely where the cycle-by-cycle path would have
+        left it.  The first cycle that can change state is then
+        executed by the ordinary :meth:`step`.
+        """
+        skip = self.next_event_horizon(limit, hook_horizon) - self.cycle
         if skip <= 0:
             return
         if self.traffic_enabled and self.injection.enabled:
@@ -542,6 +616,19 @@ class Engine:
         """All messages terminal and every virtual channel free."""
         return not self.active and self.channels.all_free()
 
+    def _note_release(self, channel_id: int) -> None:
+        """VC release notification (every release funnels through here).
+
+        Bumps the release version of the channel's source node so any
+        header parked there re-evaluates its routing decision next
+        cycle.  Releases elsewhere cannot change a WAIT: every decision
+        only examines outgoing channels of the header's own router.
+        Also retires the VC from the channel's reserved count (the
+        inline-move eligibility test of the data phase).
+        """
+        self._node_rel_ver[self._ch_src[channel_id]] += 1
+        self._ch_resident[channel_id] -= 1
+
     def inject(self, src: int, dst: int,
                length: Optional[int] = None) -> Message:
         """Create and immediately launch one message (tests/examples).
@@ -555,6 +642,8 @@ class Engine:
         msg = self._new_message(src, dst, self.cycle, length=length)
         self.queues[src].append(msg)
         self._busy_queues.add(src)
+        if self._ev:
+            self._launch_attn.add(src)
         if self.queues[src][0] is msg:
             msg.status = MessageStatus.ACTIVE
             msg.header_phase = HeaderPhase.PENDING
@@ -603,6 +692,11 @@ class Engine:
             ]
             self.traffic.set_healthy_nodes(healthy)
             for node in self.faults.faulty_nodes:
+                if self._ev:
+                    # The drop below may empty the queue: attend the
+                    # node so the launch phase prunes it from the busy
+                    # set this cycle, exactly like the full scan would.
+                    self._launch_attn.add(node)
                 while self.queues[node]:
                     msg = self.queues[node].popleft()
                     if msg.status is MessageStatus.QUEUED:
@@ -666,6 +760,10 @@ class Engine:
         active = MessageStatus.ACTIVE
         pending_phase = HeaderPhase.PENDING
         freeze = self.routing_freeze
+        ev = self._ev
+        cycle = self.cycle
+        epoch = self.faults.epoch
+        rel_ver = self._node_rel_ver
         for msg in batch.values():
             status = msg.status
             if msg.teardown or (status is not active and status is not queued):
@@ -678,6 +776,10 @@ class Engine:
             # transition.  The hold is not a WAIT: it neither consumes
             # the header-wait budget nor counts as congestion.
             if freeze and not msg.path:
+                # Held, not parked: when the freeze lifts the header
+                # must decide immediately, regardless of wake state
+                # (a cancelled reconfiguration bumps no epoch).
+                msg.parked = False
                 pending[msg.msg_id] = msg
                 continue
             # Livelock valve: abort headers that wander too long (the
@@ -685,6 +787,25 @@ class Engine:
             if msg.hops_taken > msg.hop_cap:
                 self._abort(msg, "livelock hop cap exceeded")
                 continue
+            if msg.parked:
+                # Parked header: the decision stays WAIT until a wake
+                # condition can change it — a VC released at its
+                # router, a fault/restriction epoch move, or its timed
+                # retry coming due.  Skip the (pure) re-decision but
+                # keep the wait accounting cycle-identical.
+                if (
+                    cycle < msg.wake_at
+                    and msg.park_epoch == epoch
+                    and msg.park_ver == rel_ver[msg.park_node]
+                ):
+                    msg.wait_cycles += 1
+                    msg.consecutive_waits += 1
+                    if msg.consecutive_waits > max_wait:
+                        self._abort(msg, "header blocked past wait limit")
+                        continue
+                    pending[msg.msg_id] = msg
+                    continue
+                msg.parked = False
             decision = decide(ctx, msg)
             action = decision.action
             if action is Action.WAIT:
@@ -697,6 +818,19 @@ class Engine:
                     # source (Section 4.0).
                     self._abort(msg, "header blocked past wait limit")
                     continue
+                if ev:
+                    # Every protocol WAIT is either a busy outgoing
+                    # channel (woken by a release at this node or an
+                    # epoch change) or a timed retry backoff (woken at
+                    # ``retry_wait``); spurious early wakes merely
+                    # re-decide WAIT and re-park.
+                    node = msg.path_nodes[msg.header_router]
+                    msg.parked = True
+                    msg.park_node = node
+                    msg.park_ver = rel_ver[node]
+                    msg.park_epoch = epoch
+                    retry = msg.retry_wait
+                    msg.wake_at = retry if retry > cycle else _NEVER
                 pending[msg.msg_id] = msg
                 continue
             msg.consecutive_waits = 0
@@ -711,6 +845,11 @@ class Engine:
         vc = decision.vc
         dim, direction = decision.port
         vc.reserve(msg.msg_id)
+        # The path grows a position and the head gate state changes:
+        # the data pipeline may have new work.
+        msg.dm_quiet = False
+        if self._ev:
+            self._ch_resident[vc.channel_id] += 1
         k = decision.k
         if self.protocol.flow_control.kind is FlowControlKind.PCS:
             k = K_INFINITE
@@ -762,6 +901,7 @@ class Engine:
         # not enough: an in-flight resume/path acknowledgment would
         # clear it.
         msg.backtrack_lock = j - 1
+        msg.dm_quiet = False
         self.pending.pop(msg.msg_id, None)
         self._progress = True
         reverse_ch = self.topology.reverse_channel_id(
@@ -889,6 +1029,10 @@ class Engine:
     def _arrive_header(self, msg: Message, p: int) -> None:
         if msg.teardown or msg.is_terminal():
             return
+        # The header moved: the routing decision is fresh (unpark) and
+        # the head data gate may have opened (possibly into ejection).
+        msg.parked = False
+        msg.dm_quiet = False
         msg.header_router = p
         msg.header_phase = HeaderPhase.PENDING
         self.protocol.on_arrival(self.ctx, msg)
@@ -941,6 +1085,8 @@ class Engine:
     def _arrive_header_back(self, msg: Message, p: int) -> None:
         if msg.teardown or msg.is_terminal():
             return
+        msg.parked = False
+        msg.dm_quiet = False
         msg.backtrack_lock = -1
         popped_vc = msg.path[-1]
         dim, direction = msg.arrival_dims[-1]
@@ -1012,6 +1158,8 @@ class Engine:
             for msg, p, delta in self._staged_acks:
                 if p < len(msg.acks_at):
                     msg.acks_at[p] += delta
+                # A gate input changed: the data pipeline may move now.
+                msg.dm_quiet = False
             self._staged_acks.clear()
         if self._staged_path:
             for msg, p, establish in self._staged_path:
@@ -1019,6 +1167,7 @@ class Engine:
                     msg.held[p] = False
                 if establish:
                     msg.path_established = True
+                msg.dm_quiet = False
             self._staged_path.clear()
 
     # ---------------- teardown token arrivals --------------------------
@@ -1053,6 +1202,9 @@ class Engine:
         if p > 0:
             return p - 1
         msg.tail_acked = True
+        if self._ev:
+            # The source queue head may now retire: attend its launch.
+            self._launch_attn.add(msg.src)
         if msg.status is MessageStatus.ACTIVE and (
             msg.delivered_cycle is not None
         ):
@@ -1205,6 +1357,8 @@ class Engine:
         clone.retransmits = original.retransmits + 1
         q = self.queues[original.src]
         self._busy_queues.add(original.src)
+        if self._ev:
+            self._launch_attn.add(original.src)
         if q and q[0] is original:
             q[0] = clone
         else:
@@ -1215,19 +1369,36 @@ class Engine:
     # ==================================================================
     def _phase_data_movement(self, used_by_control: Set[int]) -> None:
         depth = self._depth
+        ev = self._ev
         # channel id -> [(vc index, message, position, is_last, vc), ...]
         candidates: Dict[int, List[tuple]] = {}
         eject_ready: Dict[int, Dict[int, Message]] = {}
         self._eject_ready = eject_ready
         active_status = MessageStatus.ACTIVE
         delivered_phase = HeaderPhase.DELIVERED
+        inline_header = self._inline_header
+        tail_ack = self._tail_ack_mode
+        cycle = self.cycle
+        resident = self._ch_resident
+        attn = self._launch_attn
+        moved = 0
 
         for msg in self.active.values():
+            # Quiet messages provably contribute nothing to this scan
+            # until a state-change notification clears the flag (every
+            # predicate below reads only the message's own state, and
+            # every mutation of that state funnels through a site that
+            # clears ``dm_quiet``) — skipping them enumerates the same
+            # candidates in the same order as the full scan.
+            if msg.dm_quiet:
+                continue
             if msg.teardown or msg.status is not active_status:
                 continue
             path = msg.path
             path_len = len(path)
             if path_len == 0:
+                # Nothing reserved yet: quiet until the first reserve.
+                msg.dm_quiet = ev
                 continue
             buffered = msg.buffered
             head_link = msg.head_link
@@ -1238,11 +1409,14 @@ class Engine:
                 msg.header_phase is delivered_phase
                 and buffered[path_len - 1] > 0
             ):
+                contributed = True
                 bucket = eject_ready.get(msg.dst)
                 if bucket is None:
                     eject_ready[msg.dst] = {msg.msg_id: msg}
                 else:
                     bucket[msg.msg_id] = msg
+            else:
+                contributed = False
             # Crossing positions with a flit ready to move: 0 while
             # still injecting (crossing path[0]), then t+1 for every
             # occupied buffer in [tail_idx, head_link].  The scan and
@@ -1252,6 +1426,11 @@ class Engine:
             backtrack_lock = msg.backtrack_lock
             inject = msg.at_source > 0
             t = msg.tail_idx
+            last_link = path_len - 1
+            # Position an inline move (below) delivered a flit *into*
+            # this scan pass; its occupancy read must see the pre-move
+            # count or the same flit would cross two links in one cycle.
+            moved_into = -1
             while True:
                 if inject:
                     inject = False
@@ -1260,6 +1439,8 @@ class Engine:
                     if t > head_link:
                         break
                     occupied = buffered[t]
+                    if t == moved_into:
+                        occupied -= 1
                     t += 1
                     if occupied == 0:
                         continue
@@ -1289,26 +1470,73 @@ class Engine:
                         # acknowledgment then releases the data (SR
                         # degenerates to PCS, Section 2.2).
                         continue
+                # Marked before the control-channel filter: a position
+                # suppressed only by this cycle's control traffic can
+                # move next cycle with no state change, so it must keep
+                # the message un-quiet.
+                contributed = True
                 vc = path[p]
                 ch = vc.channel_id
                 if ch in used_by_control:
                     continue
-                entry = (vc.index, msg, p, p == path_len - 1, vc)
+                # Inline fast path: the channel's only reserved VC is
+                # this one, so the move wins arbitration unopposed (the
+                # arbiter is untouched either way — single-candidate
+                # grants never advance it).  Excluded: the last link
+                # (its grant may insert into ``eject_ready``, whose key
+                # order must match the deferred grant loop) and, for
+                # in-band headers, the head advance (its arrival
+                # appends to ``pending``, whose order is the next
+                # cycle's decision order).  Both still resolve through
+                # the candidate buckets below, in the exact slot the
+                # brute-force path gives them.
+                if (
+                    ev
+                    and p != last_link
+                    and resident[ch] == 1
+                    and not (inline_header and p == head_move)
+                ):
+                    if p == 0:
+                        msg.at_source -= 1
+                        if msg.injected_cycle is None:
+                            msg.injected_cycle = cycle
+                        if msg.at_source == 0:
+                            # Last flit left the source: its queue head
+                            # may retire in this cycle's launch phase.
+                            attn.add(msg.src)
+                    else:
+                        buffered[p - 1] -= 1
+                    buffered[p] += 1
+                    crossed = msg.crossed
+                    crossed[p] += 1
+                    vc.grants += 1
+                    moved += 1
+                    if p == head_move:
+                        msg.head_link = p
+                    if msg.at_source == 0:
+                        tail_idx = msg.tail_idx
+                        hl = msg.head_link
+                        while tail_idx <= hl and buffered[tail_idx] == 0:
+                            tail_idx += 1
+                        msg.tail_idx = tail_idx
+                    if crossed[p] == msg.total_flits and not tail_ack:
+                        self._release_link(msg, p)
+                    moved_into = p
+                    continue
+                entry = (vc.index, msg, p, p == last_link, vc)
                 bucket = candidates.get(ch)
                 if bucket is None:
                     candidates[ch] = [entry]
                 else:
                     bucket.append(entry)
+            if ev and not contributed:
+                msg.dm_quiet = True
 
         # Grant one data flit per physical channel (round-robin among
         # resident VCs), skipping channels used by control this cycle.
         # The per-grant flit move is inlined here (it is the hottest
         # code in the simulator); semantics are unchanged.
         arbiters = self._arbiters
-        inline_header = self._inline_header
-        tail_ack = self._tail_ack_mode
-        cycle = self.cycle
-        moved = 0
         for ch, cands in candidates.items():
             if len(cands) == 1:
                 vc_idx, msg, p, is_last, vc = cands[0]
@@ -1324,6 +1552,10 @@ class Engine:
                 msg.at_source -= 1
                 if msg.injected_cycle is None:
                     msg.injected_cycle = cycle
+                if msg.at_source == 0 and ev:
+                    # Last flit left the source: its queue head may
+                    # retire in this cycle's launch phase.
+                    self._launch_attn.add(msg.src)
             else:
                 buffered[p - 1] -= 1
             buffered[p] += 1
@@ -1434,6 +1666,8 @@ class Engine:
                 measuring = self.in_measure_window()
                 queues = self.queues
                 busy_queues = self._busy_queues
+                ev = self._ev
+                attn = self._launch_attn
                 destination = self.traffic.destination
                 cycle = self.cycle
                 for pos in self.injection.arrivals(num_healthy):
@@ -1452,20 +1686,34 @@ class Engine:
                                 self.measured_accepted_flits += length
                             queue.append(self._new_message(node, dst, cycle))
                             busy_queues.add(node)
+                            if ev:
+                                attn.add(node)
             # else: no trial slots this cycle; the process is frozen.
 
-        # Launch / advance injection queues.  Only nodes in the busy
-        # set can hold a non-empty queue; ascending order matches the
-        # full scan this replaces.
+        # Launch / advance injection queues.  The event path visits only
+        # the attention set — nodes whose queue head could act this
+        # cycle (fresh arrival, head finished injecting or tail-acked,
+        # head finalized or requeued, queue dropped by a fault); every
+        # other busy node's visit is provably a no-op (an ACTIVE head
+        # mid-injection breaks immediately), so the ascending-order
+        # launch sequence matches the full busy scan exactly.
         busy = self._busy_queues
-        if not busy:
-            return
+        if self._ev:
+            attn = self._launch_attn
+            if not attn:
+                return
+            nodes = sorted(attn)
+            attn.clear()
+        else:
+            if not busy:
+                return
+            nodes = busy.snapshot()
         tail_ack = self._tail_ack_mode
         active_status = MessageStatus.ACTIVE
         queued_status = MessageStatus.QUEUED
         pending_phase = HeaderPhase.PENDING
         queues = self.queues
-        for node in sorted(busy):
+        for node in nodes:
             queue = queues[node]
             while queue:
                 head = queue[0]
@@ -1526,6 +1774,9 @@ class Engine:
             self.dropped_messages += 1
         if count_killed:
             self.killed_messages += 1
+        if self._ev:
+            # A terminal head unblocks its source queue: attend it.
+            self._launch_attn.add(msg.src)
         self.active.pop(msg.msg_id, None)
         self.pending.pop(msg.msg_id, None)
         self.messages.pop(msg.msg_id, None)

@@ -122,6 +122,8 @@ class Message:
         "misroute_total", "hops_taken", "retries", "retry_wait",
         "wait_cycles", "consecutive_waits", "original_id", "retransmits",
         "tail_acked", "teardown", "teardown_reason",
+        "parked", "park_node", "park_ver", "park_epoch", "wake_at",
+        "dm_quiet",
     )
 
     def __init__(self, msg_id: int, src: int, dst: int, length: int,
@@ -219,6 +221,21 @@ class Message:
         #: path) or "abort" (routing gave up) — decides whether the
         #: source retransmits, retries, or drops.
         self.teardown_reason: Optional[str] = None
+
+        # Event-engine scheduling state (engine-owned; see DESIGN.md
+        # §11).  A *parked* header skips its routing decision until one
+        # of its wake conditions can change the outcome: a virtual
+        # channel released at its router (``park_ver`` falls behind the
+        # node's release version), a fault-epoch change, or the timed
+        # retry cycle ``wake_at``.  ``dm_quiet`` marks a message whose
+        # data pipeline cannot move until a state-change notification
+        # (acknowledgment, header arrival, path extension) clears it.
+        self.parked = False
+        self.park_node = 0
+        self.park_ver = 0
+        self.park_epoch = 0
+        self.wake_at = 0
+        self.dm_quiet = False
 
     # ------------------------------------------------------------------
     # Derived views

@@ -88,6 +88,90 @@ class TestPatternKnees:
         assert bursty.knee_load < uniform_knee.knee_load
 
 
+class TestKneeEdgeCases:
+    """Degenerate searches must fail loudly, not fabricate a knee.
+
+    ``run_point`` is replaced by closed-form fakes so each case is
+    exact and instant: an all-replications-undrained run raises
+    RuntimeError (what :func:`repro.experiments.common.run_point` does
+    when every replication fails to drain), and a drained run returns
+    an object with ``latency_mean`` / ``throughput_mean``.
+    """
+
+    @staticmethod
+    def _fake(latency_of):
+        class Rep:
+            def __init__(self, load):
+                self.latency_mean = latency_of(load)
+                self.throughput_mean = load
+
+        def run_point(scale, protocol, protocol_params, load, **kwargs):
+            lat = latency_of(load)
+            if math.isinf(lat):
+                raise RuntimeError("no replication drained")
+            return Rep(load)
+
+        return run_point
+
+    def test_undrained_baseline_raises(self, monkeypatch):
+        """Zero-load probe never drains → clear error, no probing loop."""
+        monkeypatch.setattr(
+            "repro.experiments.saturation.run_point",
+            self._fake(lambda load: math.inf),
+        )
+        with pytest.raises(RuntimeError, match="no replication drained at"):
+            find_knee(QUICK, "tp", traffic="wedged")
+
+    def test_no_deliveries_at_baseline_raises(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.experiments.saturation.run_point",
+            self._fake(lambda load: math.nan),
+        )
+        with pytest.raises(RuntimeError, match="delivered no messages"):
+            find_knee(QUICK, "tp", traffic="silent")
+
+    def test_first_probe_saturated_raises(self, monkeypatch):
+        """Every load above the baseline saturates: the bracket is
+        never established from below, so the driver must refuse to
+        report ``knee_load == low_load`` (the old behavior)."""
+        monkeypatch.setattr(
+            "repro.experiments.saturation.run_point",
+            self._fake(lambda load: 30.0 if load <= 0.02 else math.inf),
+        )
+        with pytest.raises(RuntimeError, match="at or below the zero-load"):
+            find_knee(QUICK, "tp", traffic="cliff", low_load=0.02)
+
+    def test_first_probe_saturated_but_bisectable_is_fine(self, monkeypatch):
+        """If the first doubling probe saturates but bisection *does*
+        find unsaturated loads above the baseline, the knee is real."""
+        monkeypatch.setattr(
+            "repro.experiments.saturation.run_point",
+            self._fake(lambda load: 30.0 if load <= 0.03 else 1e6),
+        )
+        knee = find_knee(
+            QUICK, "tp", traffic="steep", low_load=0.02, tolerance=0.005,
+        )
+        assert 0.02 < knee.knee_load <= 0.03
+
+    def test_normal_search_unchanged(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.experiments.saturation.run_point",
+            self._fake(lambda load: 30.0 if load <= 0.3 else 1e6),
+        )
+        knee = find_knee(QUICK, "tp", traffic="uniform", tolerance=0.01)
+        assert 0.3 - 0.01 <= knee.knee_load <= 0.3
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            find_knee(QUICK, "tp", tolerance=0.0)
+        with pytest.raises(ValueError, match="tolerance"):
+            find_knee(QUICK, "tp", tolerance=-0.01)
+
+    def test_bad_load_range_rejected(self):
+        with pytest.raises(ValueError, match="low_load"):
+            find_knee(QUICK, "tp", low_load=0.5, max_load=0.4)
+
+
 class TestReporting:
     def _result(self):
         return KneeResult(

@@ -1,9 +1,15 @@
 """RouteCache: memoized candidate sets and epoch invalidation."""
 
+from repro.core.two_phase import TwoPhaseProtocol
 from repro.faults.model import FaultState
-from repro.network.topology import KAryNCube
+from repro.network.topology import PLUS, KAryNCube
+from repro.routing.base import Action
 from repro.routing.cache import RouteCache
 from repro.routing.dimension_order import deterministic_route
+from repro.routing.duato import DuatoProtocol
+from repro.sim.message import Message
+
+from tests.conftest import make_context
 
 
 def _setup(k=5, n=2):
@@ -104,3 +110,79 @@ def test_escape_cache_survives_epoch_bumps():
     assert cache.escape(node, dst) is first
     # Arrived-at-destination: no escape hop.
     assert cache.escape(dst, dst) is None
+
+
+class TestEscapeCacheFaultSafety:
+    """The escape memo deliberately survives epoch bumps ("fault status
+    of the escape channel is the caller's concern") — these tests pin
+    the caller-side contract that makes never clearing it safe: with a
+    *stale warm entry* in the cache, a fault landing on the cached
+    escape channel can never route a header into it, an unsafe marking
+    admits it only under scouting flow control, and a reconfiguration
+    restriction leaves it usable by design (the escape network's
+    deadlock freedom does not depend on restrictions)."""
+
+    def _setup(self, torus8):
+        faults = FaultState(torus8)
+        ctx = make_context(torus8, faults=faults)
+        dst = torus8.node_id((3, 0))  # dim 0 the only profitable dim
+        det_ch = torus8.channel_id(0, 0, PLUS)
+        # Warm the escape memo before any fault exists.
+        entry = ctx.cache.escape(0, dst)
+        assert entry is not None and entry[3] == det_ch
+        return ctx, faults, dst, det_ch, entry
+
+    @staticmethod
+    def _msg(topo, dst):
+        return Message(
+            msg_id=1, src=0, dst=dst, length=4,
+            offsets=topo.offsets(0, dst), created_cycle=0,
+            inline_header=True,
+        )
+
+    def test_faulted_escape_channel_never_reserved(self, torus8):
+        ctx, faults, dst, det_ch, entry = self._setup(torus8)
+        faults.fail_link(det_ch)
+        # The stale entry survives the epoch bump (by design) ...
+        assert ctx.cache.escape(0, dst) is entry
+        # ... yet no protocol routes a header into the dead channel:
+        # every caller re-checks channel_faulty live.
+        for proto in (TwoPhaseProtocol(), DuatoProtocol()):
+            d = proto.decide(ctx, self._msg(torus8, dst))
+            if d.action is Action.RESERVE:
+                assert d.vc.channel_id != det_ch
+        # Duato has no detour fallback: the faulty escape aborts.
+        d = DuatoProtocol().decide(ctx, self._msg(torus8, dst))
+        assert d.action is Action.ABORT
+
+    def test_unsafe_escape_channel_only_under_scouting(self, torus8):
+        ctx, faults, dst, det_ch, entry = self._setup(torus8)
+        # A node fault two hops ahead marks the escape channel's head
+        # node at-risk, so the cached channel is now unsafe.
+        faults.fail_node(torus8.node_id((2, 0)))
+        assert faults.channel_unsafe[det_ch]
+        assert ctx.cache.escape(0, dst) is entry
+        msg = self._msg(torus8, dst)
+        d = TwoPhaseProtocol(k_unsafe=3).decide(ctx, msg)
+        if d.action is Action.RESERVE and d.vc.channel_id == det_ch:
+            # Entering the fault vicinity must have switched the
+            # header to scouting (SR) flow control.
+            assert msg.header.sr
+            assert d.k == 3
+
+    def test_restricted_escape_channel_stays_usable(self, torus8):
+        ctx, faults, dst, det_ch, entry = self._setup(torus8)
+        faults.reconfigure([det_ch])
+        assert faults.channel_restricted[det_ch]
+        assert ctx.cache.escape(0, dst) is entry
+        # Restrictions prune the optimistic adaptive set ...
+        assert det_ch not in [
+            c[2] for c in ctx.cache.adaptive_candidates(0, dst, None)
+        ]
+        # ... but the escape layer is exempt (steering, not
+        # correctness): DP falls back to the deterministic escape VC
+        # on the restricted channel instead of wedging.
+        d = TwoPhaseProtocol().decide(ctx, self._msg(torus8, dst))
+        assert d.action is Action.RESERVE
+        assert d.vc.channel_id == det_ch
+        assert d.vc.vclass.is_deterministic

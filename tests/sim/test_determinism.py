@@ -19,6 +19,13 @@ forced on and forced off: the two paths must produce byte-identical
 RunResults (the event-horizon jump may only skip cycles that are
 provably no-ops), including under a chaos hook and composed through
 ``parallel.run_configs``.
+
+The event-driven engine core (``SimulationConfig.event_engine``,
+DESIGN.md §11) gets the same treatment crossed with the fast-forward
+switch: every pinned config runs with the ready-set scheduler forced on
+and forced off at each fast-forward setting, and the four paths must be
+byte-identical — the brute-force scans are the oracle the event paths
+are measured against.
 """
 
 import dataclasses
@@ -46,6 +53,17 @@ def run_ff_pair(cfg: SimulationConfig):
     """The same config with fast-forward forced on and forced off."""
     on = NetworkSimulator(cfg.with_(fast_forward=True)).run()
     off = NetworkSimulator(cfg.with_(fast_forward=False)).run()
+    return on, off
+
+
+def run_ev_pair(cfg: SimulationConfig, fast_forward: bool = True):
+    """The same config with the event engine forced on and forced off."""
+    on = NetworkSimulator(
+        cfg.with_(event_engine=True, fast_forward=fast_forward)
+    ).run()
+    off = NetworkSimulator(
+        cfg.with_(event_engine=False, fast_forward=fast_forward)
+    ).run()
     return on, off
 
 
@@ -333,14 +351,14 @@ def test_traffic_patterns_exercise_skip_path(traffic, params):
     assert sim.engine.fast_forwarded_cycles > 0
 
 
-def _chaos_hooked_run(fast_forward: bool):
+def _chaos_hooked_run(fast_forward: bool, event_engine: bool = True):
     """One chaos-hooked simulation; returns (RunResult, controller)."""
     cfg = SimulationConfig(
         k=6, n=2, protocol="tp", offered_load=0.05, message_length=8,
         warmup_cycles=100, measure_cycles=600, drain_cycles=3000,
         seed=7, watchdog_cycles=120, max_header_wait=6000,
         resilience=ResilienceConfig(audit_invariants=True, audit_every=20),
-        fast_forward=fast_forward,
+        fast_forward=fast_forward, event_engine=event_engine,
     )
     sim = NetworkSimulator(cfg)
     engine = sim.engine
@@ -408,6 +426,100 @@ def test_parallel_run_configs_reconfig_composition():
     )
     off = run_configs(
         [base.with_(seed=s, fast_forward=False) for s in seeds], jobs=1
+    )
+    assert any(r.reconfigurations > 0 for r in on)
+    for a, b in zip(on, off):
+        assert_identical(a, b)
+
+
+# ======================================================================
+# Event-driven engine core: ready-set scheduling forced on vs the
+# brute-force scans, crossed with the fast-forward switch (DESIGN.md
+# §11 — this matrix is the rewrite's acceptance bar).
+# ======================================================================
+@pytest.mark.parametrize("ff", [True, False], ids=["ff-on", "ff-off"])
+@pytest.mark.parametrize("name", sorted(PINNED_CONFIGS))
+def test_event_engine_on_off_identical(name, ff):
+    """The ready sets may only skip work the full scans prove no-op."""
+    on, off = run_ev_pair(PINNED_CONFIGS[name](), fast_forward=ff)
+    assert_identical(on, off)
+
+
+def test_event_engine_actually_parks_and_quiets():
+    """A loaded run must exercise every ready-set layer — otherwise the
+    on/off matrix proves nothing about the skip paths."""
+    cfg = _protocol_cfg("tp", {"k_unsafe": 0}).with_(
+        offered_load=0.25, event_engine=True
+    )
+    sim = NetworkSimulator(cfg)
+    engine = sim.engine
+    saw_parked = saw_quiet = False
+    seen_attn = []
+    # The launch phase consumes the attention set, so sample it on
+    # entry (after the earlier phases added terminal/ejected sources).
+    orig_traffic = engine._phase_traffic
+
+    def spy_traffic():
+        if engine._launch_attn:
+            seen_attn.append(engine.cycle)
+        orig_traffic()
+
+    engine._phase_traffic = spy_traffic
+    for _ in range(cfg.total_cycles):
+        engine.step()
+        saw_parked = saw_parked or any(
+            m.parked for m in engine.pending.values()
+        )
+        saw_quiet = saw_quiet or any(
+            m.dm_quiet for m in engine.active.values()
+        )
+    saw_attn = bool(seen_attn)
+    assert saw_parked, "no routing header ever parked"
+    assert saw_quiet, "no message ever went data-movement quiet"
+    assert saw_attn, "the launch attention set never armed"
+
+
+def test_chaos_hook_event_engine_identical():
+    """Chaos-driven fault bursts (teardown, kill flits, retransmits)
+    must hit the same victims on the event and brute-force paths."""
+    on_result, on_ctrl = _chaos_hooked_run(True, event_engine=True)
+    off_result, off_ctrl = _chaos_hooked_run(True, event_engine=False)
+    assert on_ctrl.faults_injected == off_ctrl.faults_injected
+    assert on_ctrl.triggers_hit == off_ctrl.triggers_hit
+    assert on_ctrl.faults_injected > 0
+    assert_identical(on_result, off_result)
+
+
+def test_parallel_run_configs_event_engine_composition():
+    """Workers replaying event-engine configs must equal a serial
+    brute-force campaign (the parallel runner's serial-equivalence
+    guarantee composed with the ready-set scheduler)."""
+    base = SimulationConfig(
+        k=5, n=2, protocol="tp", offered_load=0.08, message_length=8,
+        warmup_cycles=100, measure_cycles=500, drain_cycles=1500,
+    )
+    seeds = (1, 2, 3)
+    on = run_configs(
+        [base.with_(seed=s, event_engine=True) for s in seeds], jobs=2
+    )
+    off = run_configs(
+        [base.with_(seed=s, event_engine=False) for s in seeds], jobs=1
+    )
+    for a, b in zip(on, off):
+        assert_identical(a, b)
+
+
+def test_parallel_run_configs_event_engine_reconfig_composition():
+    """The hardest composition: reconfiguration drain/commit epochs,
+    dynamic faults, and audit ticks under the event engine across
+    parallel workers."""
+    base = _reconfig_cfg()
+    seeds = (9, 19)
+    on = run_configs(
+        [base.with_(seed=s, event_engine=True) for s in seeds], jobs=2
+    )
+    off = run_configs(
+        [base.with_(seed=s, event_engine=False) for s in seeds], jobs=1
     )
     assert any(r.reconfigurations > 0 for r in on)
     for a, b in zip(on, off):

@@ -65,6 +65,44 @@ def test_compare_ignores_one_sided_workloads():
     assert by_name["old_only"]["delta"] is None
 
 
+def test_compare_workloads_filter_restricts_verdict():
+    """The CI saturated-workload gate: only the named workloads count
+    toward the table and the regression verdict."""
+    baseline = _rows(**{"tp-high": 1000.0, "tp-idle-long": 1000.0})
+    current = _rows(**{"tp-high": 900.0, "tp-idle-long": 100.0})
+    # Unfiltered: both regress.
+    _, regressions = compare_bench.compare(baseline, current, 0.05)
+    assert regressions == ["tp-high", "tp-idle-long"]
+    # Gated on tp-high only: the idle collapse is invisible, and the
+    # 10% tp-high drop passes a 25% gate.
+    rows, regressions = compare_bench.compare(
+        baseline, current, 0.25, workloads=["tp-high"]
+    )
+    assert [r["workload"] for r in rows] == ["tp-high"]
+    assert regressions == []
+    _, regressions = compare_bench.compare(
+        baseline, current, 0.05, workloads=["tp-high"]
+    )
+    assert regressions == ["tp-high"]
+
+
+def test_main_workloads_gate_exit_codes(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    cur = tmp_path / "cur.json"
+    _write_report(base, **{"tp-high": 1000.0, "dp-high": 1000.0,
+                           "tp-low": 1000.0})
+    _write_report(cur, **{"tp-high": 700.0, "dp-high": 990.0,
+                          "tp-low": 10.0})
+    gate = ["--workloads", "tp-high,dp-high", "--threshold", "0.25"]
+    assert compare_bench.main([str(base), str(cur)] + gate) == 1
+    out = capsys.readouterr().out
+    assert "tp-high" in out and "tp-low" not in out
+    # The same gate passes once the saturated drop is within bounds.
+    _write_report(cur, **{"tp-high": 800.0, "dp-high": 990.0,
+                          "tp-low": 10.0})
+    assert compare_bench.main([str(base), str(cur)] + gate) == 0
+
+
 def test_main_exit_codes_and_render(tmp_path, capsys):
     base = tmp_path / "base.json"
     cur = tmp_path / "cur.json"
