@@ -13,9 +13,14 @@ reported but ignored for the verdict, so adding or retiring a workload
 does not break the comparison.
 
 ``--key`` selects which numeric field is compared (default
-``cycles_per_sec``).  Saturation snapshots from
+``cycles_per_sec``).  ``--key events_per_sec`` compares interpreter
+cost per simulation event (flit hops + ejections + header decisions)
+instead — unlike cycles/s it is insensitive to how much of the
+horizon the quiescence fast-forward skipped, so it isolates hot-path
+cost from scheduling-efficiency changes.  Saturation snapshots from
 ``repro.experiments.saturation`` share the same shape, so
 ``--key knee_throughput`` diffs two ``BENCH_saturation.json`` files.
+``--events`` is shorthand for ``--key events_per_sec``.
 
 CI runs this twice against the committed snapshot: once over every
 workload informationally (the numbers are machine-dependent, so small
@@ -135,6 +140,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--events", action="store_true",
+        help=(
+            "shorthand for --key events_per_sec: compare per-event "
+            "interpreter cost (flit hops + ejections + header "
+            "decisions per wall second) instead of cycles/s"
+        ),
+    )
+    parser.add_argument(
         "--workloads", default=None,
         help=(
             "comma-separated workload names to compare; everything "
@@ -143,13 +156,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     args = parser.parse_args(argv)
+    key = "events_per_sec" if args.events else args.key
     workloads = (
         [w for w in args.workloads.split(",") if w]
         if args.workloads else None
     )
     rows, regressions = compare(
         load_rows(args.baseline), load_rows(args.current),
-        args.threshold, key=args.key, workloads=workloads,
+        args.threshold, key=key, workloads=workloads,
     )
     print(render(rows, regressions, args.threshold))
     return 1 if regressions else 0

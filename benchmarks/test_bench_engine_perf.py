@@ -1,17 +1,23 @@
 """P1 — engine performance: simulated cycles per second over a matrix.
 
-Times single simulation runs (no replication) across a small
-protocol / load / fault grid and records wall-clock time plus simulated
-cycles per second in ``BENCH_engine.json`` at the repository root,
-which CI uploads as an artifact.  The numbers track the engine's
-hot-path cost; most are informational (machine-dependent), but CI's
-perf-smoke job hard-fails when a *saturated* workload (``tp-high``,
-``dp-high``) loses more than 25% cycles/s against the committed
-snapshot — see ``benchmarks/compare_bench.py --workloads``.
+Times simulation runs across a small protocol / load / fault grid and
+records wall-clock time plus simulated cycles per second in
+``BENCH_engine.json`` at the repository root, which CI uploads as an
+artifact.  The *saturated* workloads (``tp-high``, ``dp-high``) are
+timed three times and report the median wall clock — they gate CI, so
+their figure should not hinge on one scheduler hiccup; the rest run
+once and stay informational.  Every row also records ``events`` (data
+flit hops + ejections + header routing decisions — the simulation's
+unit of real work) and ``events_per_sec``, which tracks interpreter
+cost per event independently of how much of the horizon the
+quiescence fast-forward skipped.  CI's perf-smoke job hard-fails when
+a saturated workload loses more than 25% cycles/s against the
+committed snapshot — see ``benchmarks/compare_bench.py --workloads``.
 """
 
 import json
 import pathlib
+import statistics
 import time
 
 from repro.experiments.common import base_config, experiment_scale
@@ -53,6 +59,21 @@ WORKLOADS = (
 )
 
 
+#: Workloads whose cycles/s figure gates CI: timed ``_GATED_ROUNDS``
+#: times, reporting the median wall clock.
+SATURATED = frozenset({"tp-high", "dp-high"})
+_GATED_ROUNDS = 3
+
+
+def _run_once(cfg):
+    """One timed run; returns (wall seconds, RunResult, engine)."""
+    sim = NetworkSimulator(cfg)
+    start = time.perf_counter()
+    result = sim.run()
+    wall = time.perf_counter() - start
+    return wall, result, sim.engine
+
+
 def run_matrix():
     scale = experiment_scale()
     rows = []
@@ -63,10 +84,17 @@ def run_matrix():
             cfg = cfg.with_(faults=FaultConfig(
                 dynamic_faults=dynamic, dynamic_start=cfg.warmup_cycles,
             ))
-        sim = NetworkSimulator(cfg)
-        start = time.perf_counter()
-        result = sim.run()
-        wall = time.perf_counter() - start
+        rounds = _GATED_ROUNDS if name in SATURATED else 1
+        # Repeats rebuild the simulator from the same config/seed, so
+        # cycles and event counts are identical across rounds — only
+        # the wall clock varies, and the median damps runner noise.
+        walls = []
+        for _ in range(rounds):
+            wall, result, engine = _run_once(cfg)
+            walls.append(wall)
+        wall = statistics.median(walls)
+        events = (engine.data_flits_moved + engine.flits_ejected
+                  + engine.header_decisions)
         rows.append({
             "workload": name,
             "protocol": protocol,
@@ -75,6 +103,9 @@ def run_matrix():
             "cycles": result.cycles,
             "wall_s": round(wall, 4),
             "cycles_per_sec": round(result.cycles / wall, 1),
+            "events": events,
+            "events_per_sec": round(events / wall, 1),
+            "rounds": rounds,
             "delivered": result.delivered,
             "drained": result.drained,
         })
@@ -91,12 +122,16 @@ def render(report):
         f"engine perf ({report['scale']} scale, "
         f"{report['k']}-ary {report['n']}-cube)"
     )
-    header = f"{'workload':<20} {'cycles':>8} {'wall_s':>8} {'cyc/s':>10}"
+    header = (
+        f"{'workload':<20} {'cycles':>8} {'wall_s':>8} {'cyc/s':>10} "
+        f"{'events':>9} {'ev/s':>10}"
+    )
     lines = [title, header, "-" * len(header)]
     for row in report["workloads"]:
         lines.append(
             f"{row['workload']:<20} {row['cycles']:>8} "
-            f"{row['wall_s']:>8.3f} {row['cycles_per_sec']:>10,.0f}"
+            f"{row['wall_s']:>8.3f} {row['cycles_per_sec']:>10,.0f} "
+            f"{row['events']:>9} {row['events_per_sec']:>10,.0f}"
         )
     return "\n".join(lines)
 
@@ -108,4 +143,9 @@ def test_bench_engine_perf(benchmark):
     for row in report["workloads"]:
         assert row["cycles"] > 0
         assert row["cycles_per_sec"] > 0
+        assert row["events"] > 0
+        assert row["events_per_sec"] > 0
         assert row["delivered"] > 0
+        assert row["rounds"] == (
+            _GATED_ROUNDS if row["workload"] in SATURATED else 1
+        )

@@ -22,7 +22,9 @@ Examples::
     repro-sim sweep --protocol tp --jobs 4
     repro-sim sweep --pattern transpose --find-knee
     repro-sim sweep --pattern bursty --find-knee --knee-tol 0.01
+    repro-sim sweep --loads 0.28 --profile
     repro-sim chaos --seeds 20 --protocols tp,dp
+    repro-sim chaos --seeds 2 --profile --profile-out chaos.pstats
     REPRO_JOBS=8 repro-sim chaos --seeds 40 --pattern hotspot
     repro-sim storm --seeds 4 --scenarios gridlock,linkstorm
     REPRO_JOBS=8 repro-sim storm --out BENCH_resilience.json
@@ -177,6 +179,56 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         print(f"unknown figure {args.name!r}", file=sys.stderr)
         return 2
     return 0
+
+
+def _run_profiled(args: argparse.Namespace) -> int:
+    """Run ``args.func`` under cProfile (the ``--profile`` flag).
+
+    With ``--profile-out`` the raw stats are dumped to that path for
+    ``pstats`` / ``snakeviz``-style offline digging; otherwise the top
+    entries by cumulative time go to stderr, so profiling output never
+    corrupts a table or JSON payload on stdout.  Profiling forces
+    ``--jobs`` to serial: work fanned out to worker processes would be
+    invisible to the parent's profiler and the numbers would lie.
+    """
+    import cProfile
+    import pstats
+
+    if getattr(args, "jobs", None) not in (None, 1):
+        print("--profile forces --jobs 1 (worker processes are "
+              "invisible to the profiler)", file=sys.stderr)
+    args.jobs = 1
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        status = args.func(args)
+    finally:
+        profiler.disable()
+        if args.profile_out:
+            profiler.dump_stats(args.profile_out)
+            print(f"wrote profile stats to {args.profile_out}",
+                  file=sys.stderr)
+        else:
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative").print_stats(25)
+    return status
+
+
+def _add_profile_args(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--profile", action="store_true",
+        help=(
+            "run under cProfile; top-25 cumulative functions are "
+            "printed to stderr (forces --jobs 1)"
+        ),
+    )
+    subparser.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help=(
+            "with --profile: dump raw pstats data to PATH instead of "
+            "printing the stderr summary"
+        ),
+    )
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -368,6 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
             "serial run"
         ),
     )
+    _add_profile_args(sweep_p)
     sweep_p.set_defaults(func=_cmd_sweep)
 
     chaos_p = sub.add_parser(
@@ -407,6 +460,7 @@ def build_parser() -> argparse.ArgumentParser:
             "REPRO_JOBS env var, else serial)"
         ),
     )
+    _add_profile_args(chaos_p)
     chaos_p.set_defaults(func=_cmd_chaos)
 
     storm_p = sub.add_parser(
@@ -441,6 +495,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "profile", False):
+        return _run_profiled(args)
     return args.func(args)
 
 

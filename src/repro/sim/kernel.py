@@ -1,0 +1,605 @@
+"""Struct-of-arrays flit-transport kernel (DESIGN.md §12).
+
+The event engine (§11) made per-cycle work proportional to events; at
+saturation what remains is the data-movement walk: for every live
+message, scan the occupied window of its path, re-checking per
+position the credit/gate/lock predicates, to discover which flits can
+move.  Most scanned positions yield nothing — the scan is the last
+per-cycle cost that is *batchable*.  This kernel batches exactly
+that:
+
+* **Predicate pass** (stage 1): per-message pipeline state is
+  mirrored into flat preallocated int64 buffers — one *row* per
+  attached message, occupancy encoded as per-row *bitmasks* (bit
+  ``p`` of ``occ`` set iff ``buffered[p] > 0``, bit ``p`` of ``full``
+  iff ``buffered[p]`` is at buffer depth).  Eight element-wise numpy
+  ops over those masks compute, for every attached message at once,
+  the exact set of path positions the object walk would consider
+  movable this cycle.
+
+* **Ordered applier** (stage 2): a compact Python pass iterates
+  ``engine.active`` in the walk's order and commits the candidate
+  bits through the *same object mutations the walk performs* —
+  ``buffered``/``crossed`` list updates, eager ``vc.grants`` credit,
+  the same arbiter/eject round-robin calls, the same release
+  trigger.  The ordering-sensitive interactions — inline moves,
+  ``used_by_control`` gating, eject bucket insertion order, in-band
+  header arrival order, tail-ack — all live here, so observable
+  behavior is byte-identical to the walk (pinned by the determinism
+  matrix and the lockstep property suite).
+
+The object lists stay authoritative at all times: the kernel never
+holds occupancy the objects don't — the mirror is *derived* state
+(maskable summaries), rebuilt per row whenever an engine-side
+mutation invalidates it.  That keeps the coherence protocol trivial:
+any site that clears ``dm_quiet`` also calls ``touch`` and the row is
+resynced (O(path length)) before the next predicate pass; rows the
+object walk advances during low-occupancy fallback cycles are marked
+the same way.  Auditors, traces, postmortem, and results read the
+objects directly — there is nothing to flush.
+
+Why the candidate set is computable from pre-scan state: the walk's
+``moved_into`` correction makes every occupancy read see the pre-move
+count, moves go strictly downstream, and bucketed moves commit after
+the scan — so the set of (message, position) candidates is a pure
+function of the state at cycle start, which is what the masks hold.
+
+The predicate reads five *maintained* per-row masks besides the
+occupancy pair:
+
+* ``wtopm`` — bits ``0..min(head_link + 1, len(path) - 1)``, the top
+  of the movable window; recomputed on head advance and row resync;
+* ``ntailm`` — complement of bits ``0..tail_idx``, the bottom of the
+  window; recomputed on tail advance;
+* ``inj`` — bit 0 while source flits remain (cleared once, when the
+  backlog empties);
+* ``static`` — released-link bits plus the backtrack-lock bit (a
+  release sets its bit in place; resync recomputes);
+* ``nchm`` — complement of the flow-control-closed bit at the head
+  advance position; recomputed on head advance and resync
+  (``closed`` itself is kept per-row, store-side only).
+
+The kernel is gated behind ``SimulationConfig.data_kernel`` and is a
+pure accelerator: ``data_phase`` returning False hands the cycle to
+the object walk (the oracle), which byte-identity makes safe at any
+cycle boundary — used below a live-message threshold where the
+walk's fused scan is cheaper than the vectorization overhead, and
+permanently if a path outgrows the 62-bit mask width.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional, Set
+
+try:  # pragma: no cover - exercised implicitly by every kernel test
+    import numpy as _np
+except ImportError:  # pragma: no cover - image always ships numpy
+    _np = None
+
+from repro.core.flow_control import K_INFINITE
+from repro.sim.message import (
+    ControlFlit,
+    ControlKind,
+    HeaderPhase,
+    Message,
+    MessageStatus,
+)
+
+HAVE_NUMPY = _np is not None
+
+#: Initial row count (doubles on demand).
+_START_ROWS = 64
+#: Bitmasks live in signed int64 lanes: positions 0..61 keep every
+#: shift below the sign bit.  A path longer than this disables the
+#: kernel for the rest of the run (the walk takes over).
+_MAX_WIDTH = 62
+#: Below this many live messages the object walk is cheaper than the
+#: fixed vectorization overhead; byte-identity makes handing single
+#: cycles back to the walk safe.
+_MIN_BATCH = 6
+
+
+class DataKernel:
+    """Bitmask mirror + two-stage data-movement/ejection kernel.
+
+    Row lifecycle: ``attach`` at message launch -> incremental mask
+    upkeep while the applier commits moves -> ``drop`` at teardown,
+    interrupt, or finalization.  Engine-side mutations (reserve,
+    backtrack, staged acks, path pops, walk-fallback cycles) mark the
+    row dirty; ``data_phase`` resyncs dirty rows from the object
+    before the predicate pass.
+    """
+
+    def __init__(self, engine) -> None:
+        self.eng = engine
+        self.rows = _START_ROWS
+        self._alloc()
+        #: Free row indices (stack).
+        self._free: List[int] = list(range(self.rows - 1, -1, -1))
+        #: Row -> attached message (None = free).
+        self._msgs: List[Optional[Message]] = [None] * self.rows
+        #: Rows whose mirrored state is stale (any ``dm_quiet``
+        #: clearing site, plus rows a fallback walk may advance).
+        self._dirty: Set[Message] = set()
+
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+    def _alloc(self) -> None:
+        zeros = [0] * self.rows
+        # Typed per-row bitmasks; the ``*_t`` arrays are the write
+        # side (array('q') RMW is cheaper than numpy scalar RMW), the
+        # ``*_v`` numpy views the vector read side.
+        self._occ_t = array("q", zeros)
+        self._full_t = array("q", zeros)
+        self._wtopm_t = array("q", zeros)
+        self._ntailm_t = array("q", zeros)
+        self._inj_t = array("q", zeros)
+        self._static_t = array("q", zeros)
+        self._nchm_t = array("q", zeros)
+        # Store-side only (read back on head advance to refresh nchm).
+        self._closed_t = array("q", zeros)
+        self._rebuild_views()
+
+    def _rebuild_views(self) -> None:
+        np = _np
+        self._occ_v = np.frombuffer(self._occ_t, dtype=np.int64)
+        self._full_v = np.frombuffer(self._full_t, dtype=np.int64)
+        self._wtopm_v = np.frombuffer(self._wtopm_t, dtype=np.int64)
+        self._ntailm_v = np.frombuffer(self._ntailm_t, dtype=np.int64)
+        self._inj_v = np.frombuffer(self._inj_t, dtype=np.int64)
+        self._static_v = np.frombuffer(self._static_t, dtype=np.int64)
+        self._nchm_v = np.frombuffer(self._nchm_t, dtype=np.int64)
+        self._t2 = np.empty(self.rows, dtype=np.int64)
+        self._cand = np.empty(self.rows, dtype=np.int64)
+
+    def _grow_rows(self) -> None:
+        old = self.rows
+        self.rows = old * 2
+        add = [0] * old
+        for name in (
+            "_occ_t", "_full_t", "_wtopm_t", "_ntailm_t", "_inj_t",
+            "_static_t", "_nchm_t", "_closed_t",
+        ):
+            # numpy views export the buffer, so the arrays cannot be
+            # resized in place; rebuild them.
+            setattr(self, name, array("q", list(getattr(self, name)) + add))
+        self._rebuild_views()
+        self._msgs.extend([None] * old)
+        self._free.extend(range(self.rows - 1, old - 1, -1))
+
+    # ------------------------------------------------------------------
+    # Row lifecycle / coherence hooks (called from the engine)
+    # ------------------------------------------------------------------
+    def attach(self, msg: Message) -> None:
+        """Allocate a row at message launch (path still empty)."""
+        if not self._free:
+            self._grow_rows()
+        row = self._free.pop()
+        self._occ_t[row] = 0
+        self._full_t[row] = 0
+        self._wtopm_t[row] = 0
+        self._ntailm_t[row] = ~((1 << (msg.tail_idx + 1)) - 1)
+        self._inj_t[row] = 1 if msg.at_source > 0 else 0
+        self._static_t[row] = 0
+        self._nchm_t[row] = -1
+        self._closed_t[row] = 0
+        self._msgs[row] = msg
+        msg.kern_row = row
+        if msg.path:
+            self._dirty.add(msg)
+
+    def touch(self, msg: Message) -> None:
+        """Mirrored state went stale; resync before the next pass."""
+        if msg.kern_row >= 0:
+            self._dirty.add(msg)
+
+    # The object lists are always authoritative, so "flush before the
+    # object walk reads this row" degenerates to a resync request.
+    flush_row = touch
+
+    def drop(self, msg: Message) -> None:
+        """Free the row (teardown / interrupt / finalize)."""
+        row = msg.kern_row
+        if row < 0:
+            return
+        self._dirty.discard(msg)
+        self._msgs[row] = None
+        self._free.append(row)
+        msg.kern_row = -1
+
+    def on_release(self, msg: Message, idx: int) -> None:
+        """Path link released: mask its bit out of the window."""
+        row = msg.kern_row
+        if row >= 0 and idx < _MAX_WIDTH:
+            self._static_t[row] |= 1 << idx
+
+    def sync_all(self) -> None:
+        """Object lists are always current; nothing to reconstruct.
+
+        Kept as the engine's ``sync_data_state`` hook so external
+        consumers (auditor, postmortem, traces, results) don't need
+        to know which data-phase implementation ran.
+        """
+
+    # ------------------------------------------------------------------
+    # Resync (object -> mirror)
+    # ------------------------------------------------------------------
+    def _resync(self, msg: Message) -> bool:
+        """Rebuild one row's masks from the authoritative object."""
+        row = msg.kern_row
+        path = msg.path
+        L = len(path)
+        if L > _MAX_WIDTH:
+            return False
+        buffered = msg.buffered
+        depth = self.eng._depth
+        k_at = msg.k_at
+        held = msg.held
+        acks = msg.acks_at
+        released = msg.released
+        est = msg.path_established
+        occ = 0
+        full = 0
+        relb = 0
+        closed = 0
+        for p in range(L):
+            b = buffered[p]
+            if b:
+                occ |= 1 << p
+                if b >= depth:
+                    full |= 1 << p
+            if released[p]:
+                relb |= 1 << p
+            if held[p]:
+                closed |= 1 << p
+            else:
+                k_gate = k_at[p - 1] if p else k_at[0]
+                if k_gate >= K_INFINITE:
+                    if not est:
+                        closed |= 1 << p
+                elif acks[p] < k_gate and not est:
+                    closed |= 1 << p
+        lock = msg.backtrack_lock
+        if 0 <= lock < _MAX_WIDTH:
+            relb |= 1 << lock
+        self._occ_t[row] = occ
+        self._full_t[row] = full
+        self._static_t[row] = relb
+        self._closed_t[row] = closed
+        hm = msg.head_link + 1
+        top = hm if hm < L - 1 else L - 1
+        self._wtopm_t[row] = (1 << (top + 1)) - 1
+        self._ntailm_t[row] = ~((1 << (msg.tail_idx + 1)) - 1)
+        self._inj_t[row] = 1 if msg.at_source > 0 else 0
+        self._nchm_t[row] = ~((1 << hm) & closed)
+        return True
+
+    def _disable(self) -> None:
+        """Path outgrew the mask width: hand the run to the walk."""
+        for msg in self._msgs:
+            if msg is not None:
+                msg.kern_row = -1
+        self.eng._kern = None
+
+    # ------------------------------------------------------------------
+    # The two-stage data phase
+    # ------------------------------------------------------------------
+    def data_phase(self, used_by_control: Set[int]) -> bool:
+        """Run data movement + ejection; False = caller runs the walk
+        (low occupancy this cycle, or the kernel just disabled itself).
+        """
+        eng = self.eng
+        active = eng.active
+        if len(active) < _MIN_BATCH:
+            # The walk will advance exactly the rows it scans; their
+            # mirrored masks go stale — mark them for resync.
+            dirty = self._dirty
+            active_status = MessageStatus.ACTIVE
+            for msg in active.values():
+                if (
+                    msg.kern_row >= 0
+                    and not msg.dm_quiet
+                    and not msg.teardown
+                    and msg.status is active_status
+                ):
+                    dirty.add(msg)
+            return False
+
+        if self._dirty:
+            for msg in tuple(self._dirty):
+                if msg.kern_row >= 0 and not self._resync(msg):
+                    self._disable()
+                    return False
+            self._dirty.clear()
+
+        cl = self._predicate()
+        self._apply(used_by_control, cl)
+        return True
+
+    def _predicate(self) -> List[int]:
+        """Stage 1: per-row candidate bitmasks, all rows at once.
+
+        Bit ``p`` of the result is set iff the walk would consider
+        moving a flit onto path position ``p``: a source flit exists
+        (``occ`` bit ``p-1``, or ``inj`` for ``p == 0``), the
+        destination is inside the active window (``wtopm``/``ntailm``:
+        past the tail, at most one past the head, on the path), the
+        downstream buffer has credit and the link is alive/unlocked
+        (``full``/``static``), and — for the head-advance position
+        only — the flow-control gate is open (``nchm``).  Int64
+        overflow in the window masks wraps to exactly the 0..62 mask
+        (two's complement), which is why width is capped at 62.
+        """
+        np = _np
+        t2 = self._t2
+        cand = self._cand
+        np.left_shift(self._occ_v, 1, out=cand)     # source -> dest bit
+        np.bitwise_and(cand, self._wtopm_v, out=cand)
+        np.bitwise_and(cand, self._ntailm_v, out=cand)
+        np.bitwise_or(cand, self._inj_v, out=cand)  # injection at p=0
+        np.bitwise_or(self._full_v, self._static_v, out=t2)
+        np.invert(t2, out=t2)
+        np.bitwise_and(cand, t2, out=cand)          # credit/alive/lock
+        np.bitwise_and(cand, self._nchm_v, out=cand)  # head gate
+        return cand.tolist()
+
+    def _apply(self, used_by_control: Set[int], cl: List[int]) -> None:
+        """Stage 2: commit candidates in the walk's exact order."""
+        eng = self.eng
+        ev = eng._ev
+        depth = eng._depth
+        inline_header = eng._inline_header
+        tail_ack = eng._tail_ack_mode
+        cycle = eng.cycle
+        resident = eng._ch_resident
+        attn = eng._launch_attn
+        active_status = MessageStatus.ACTIVE
+        delivered_phase = HeaderPhase.DELIVERED
+        candidates: Dict[int, List[tuple]] = {}
+        eject_ready: Dict[int, Dict[int, Message]] = {}
+        eng._eject_ready = eject_ready
+        occ_t = self._occ_t
+        full_t = self._full_t
+        wtopm_t = self._wtopm_t
+        ntailm_t = self._ntailm_t
+        inj_t = self._inj_t
+        nchm_t = self._nchm_t
+        closed_t = self._closed_t
+        moved = 0
+
+        for msg in eng.active.values():
+            if msg.dm_quiet:
+                continue
+            if msg.teardown or msg.status is not active_status:
+                continue
+            path = msg.path
+            path_len = len(path)
+            if path_len == 0:
+                msg.dm_quiet = ev
+                continue
+            buffered = msg.buffered
+            last_link = path_len - 1
+            if (
+                msg.header_phase is delivered_phase
+                and buffered[last_link] > 0
+            ):
+                contributed = True
+                bucket = eject_ready.get(msg.dst)
+                if bucket is None:
+                    eject_ready[msg.dst] = {msg.msg_id: msg}
+                else:
+                    bucket[msg.msg_id] = msg
+            else:
+                contributed = False
+            row = msg.kern_row
+            bits = cl[row]
+            if not bits:
+                if ev and not contributed:
+                    msg.dm_quiet = True
+                continue
+            # Hoist the per-row scalars into locals; write back once
+            # after the bit walk (releases triggered mid-walk never
+            # read them — checked against _release_link/on_release).
+            hl = msg.head_link
+            head_move = hl + 1
+            # In-band header heads defer to the buckets so pending-
+            # insertion order matches the walk.
+            ih_block = head_move if inline_header else -1
+            crossed = msg.crossed
+            total = msg.total_flits
+            occ = occ_t[row]
+            full = full_t[row]
+            a = a0 = msg.at_source
+            t = t0 = msg.tail_idx
+            hl0 = hl
+            while bits:
+                low = bits & -bits
+                bits -= low
+                p = low.bit_length() - 1
+                vc = path[p]
+                ch = vc.channel_id
+                if ch in used_by_control:
+                    continue
+                # Inline fast path: same eligibility as the walk's —
+                # a single-resident channel's grant is unopposed, the
+                # last link defers to preserve eject insertion order.
+                # (Correct with the event engine off too: a deferred
+                # single-candidate grant commits identically.)
+                if p != last_link and p != ih_block and resident[ch] == 1:
+                    if p == 0:
+                        a -= 1
+                        if msg.injected_cycle is None:
+                            msg.injected_cycle = cycle
+                        if a == 0:
+                            inj_t[row] = 0
+                            if ev:
+                                attn.add(msg.src)
+                    else:
+                        v = buffered[p - 1] - 1
+                        buffered[p - 1] = v
+                        if v == 0:
+                            occ &= ~(low >> 1)
+                        if v == depth - 1:
+                            full &= ~(low >> 1)
+                    v = buffered[p] + 1
+                    buffered[p] = v
+                    if v == 1:
+                        occ |= low
+                    if v == depth:
+                        full |= low
+                    c = crossed[p] + 1
+                    crossed[p] = c
+                    vc.grants += 1
+                    moved += 1
+                    if p == head_move:
+                        hl = p
+                    if a == 0:
+                        while t <= hl and buffered[t] == 0:
+                            t += 1
+                    if c == total and not tail_ack:
+                        eng._release_link(msg, p)
+                    continue
+                entry = (vc.index, msg, p, p == last_link, vc)
+                bucket = candidates.get(ch)
+                if bucket is None:
+                    candidates[ch] = [entry]
+                else:
+                    bucket.append(entry)
+            occ_t[row] = occ
+            full_t[row] = full
+            if a != a0:
+                msg.at_source = a
+            if hl != hl0:
+                msg.head_link = hl
+                hm = hl + 1
+                top = hm if hm < last_link else last_link
+                wtopm_t[row] = (1 << (top + 1)) - 1
+                nchm_t[row] = ~((1 << hm) & closed_t[row])
+            if t != t0:
+                msg.tail_idx = t
+                ntailm_t[row] = ~((1 << (t + 1)) - 1)
+
+        arbiters = eng._arbiters
+        for ch, cands in candidates.items():
+            if len(cands) == 1:
+                vc_idx, msg, p, is_last, vc = cands[0]
+            else:
+                winner = arbiters[ch].grant_from(
+                    [c[0] for c in cands]
+                )
+                vc_idx, msg, p, is_last, vc = next(
+                    c for c in cands if c[0] == winner
+                )
+            row = msg.kern_row
+            buffered = msg.buffered
+            if p == 0:
+                a = msg.at_source - 1
+                msg.at_source = a
+                if msg.injected_cycle is None:
+                    msg.injected_cycle = cycle
+                if a == 0:
+                    inj_t[row] = 0
+                    if ev:
+                        attn.add(msg.src)
+            else:
+                v = buffered[p - 1] - 1
+                buffered[p - 1] = v
+                if v == 0:
+                    occ_t[row] &= ~(1 << (p - 1))
+                if v == depth - 1:
+                    full_t[row] &= ~(1 << (p - 1))
+            v = buffered[p] + 1
+            buffered[p] = v
+            if v == 1:
+                occ_t[row] |= 1 << p
+            if v == depth:
+                full_t[row] |= 1 << p
+            crossed = msg.crossed
+            crossed[p] += 1
+            vc.grants += 1
+            moved += 1
+            if p == msg.head_link + 1:
+                msg.head_link = p
+                hm = p + 1
+                last_link = len(msg.path) - 1
+                top = hm if hm < last_link else last_link
+                wtopm_t[row] = (1 << (top + 1)) - 1
+                nchm_t[row] = ~((1 << hm) & closed_t[row])
+                if inline_header:
+                    eng._inline_header_arrived(msg, p + 1)
+            if is_last and msg.header_phase is delivered_phase:
+                bucket = eject_ready.get(msg.dst)
+                if bucket is None:
+                    eject_ready[msg.dst] = {msg.msg_id: msg}
+                else:
+                    bucket[msg.msg_id] = msg
+            if msg.at_source == 0:
+                t = msg.tail_idx
+                hl = msg.head_link
+                while t <= hl and buffered[t] == 0:
+                    t += 1
+                if t != msg.tail_idx:
+                    msg.tail_idx = t
+                    ntailm_t[row] = ~((1 << (t + 1)) - 1)
+            if crossed[p] == msg.total_flits and not tail_ack:
+                eng._release_link(msg, p)
+        if moved:
+            eng.data_flits_moved += moved
+            eng._progress = True
+
+        for node, msgs in eject_ready.items():
+            self._eject_one(node, msgs)
+
+    def _eject_one(self, node: int, msgs: Dict[int, Message]) -> None:
+        """Engine._eject_one plus occupancy-mask upkeep."""
+        eng = self.eng
+        if len(msgs) == 1:
+            winner = next(iter(msgs.values()))
+        else:
+            last = eng._eject_last[node]
+            ids = sorted(msgs)
+            winner = msgs[next((i for i in ids if i > last), ids[0])]
+        eng._eject_last[node] = winner.msg_id
+        msg = winner
+        row = msg.kern_row
+        buffered = msg.buffered
+        p = len(msg.path) - 1
+        v = buffered[p] - 1
+        buffered[p] = v
+        if v == 0:
+            self._occ_t[row] &= ~(1 << p)
+        if v == eng._depth - 1:
+            self._full_t[row] &= ~(1 << p)
+        msg.ejected += 1
+        eng.flits_ejected += 1
+        eng._progress = True
+        is_header_flit = eng._inline_header and msg.ejected == 1
+        if not is_header_flit and (
+            eng._measuring_from < eng.cycle <= eng._measuring_to
+        ):
+            eng.measured_delivered_flits += 1
+        if msg.at_source == 0:
+            t = msg.tail_idx
+            hl = msg.head_link
+            while t <= hl and buffered[t] == 0:
+                t += 1
+            if t != msg.tail_idx:
+                msg.tail_idx = t
+                self._ntailm_t[row] = ~((1 << (t + 1)) - 1)
+        if msg.ejected == msg.total_flits:
+            msg.delivered_cycle = eng.cycle
+            if eng._tail_ack_mode:
+                eng._push_control(
+                    ControlFlit(
+                        ControlKind.TAIL_ACK, msg, len(msg.path) - 1,
+                        eng.cycle + 1,
+                    ),
+                    eng.topology.reverse_channel_id(
+                        msg.path[-1].channel_id
+                    ),
+                )
+            else:
+                msg.status = MessageStatus.DELIVERED
+                eng._finalize(msg, count_delivered=True)

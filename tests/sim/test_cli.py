@@ -23,6 +23,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_sweep_profile_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--profile", "--profile-out", "x.pstats"]
+        )
+        assert args.profile and args.profile_out == "x.pstats"
+
+    def test_chaos_profile_flags(self):
+        args = build_parser().parse_args(["chaos", "--profile"])
+        assert args.profile and args.profile_out is None
+
+    def test_run_has_no_profile_flag(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--profile"])
+
 
 class TestExecution:
     def test_run_prints_summary(self, capsys):
@@ -48,3 +62,42 @@ class TestExecution:
     def test_figure_formulas(self, capsys):
         assert main(["figure", "formulas"]) == 0
         assert "mismatches" in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_sweep_profile_stderr_summary(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_QUICK", "1")
+        rc = main(["sweep", "--loads", "0.05", "--profile"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        # The sweep table still lands on stdout untouched...
+        assert "sweep: tp" in captured.out
+        # ...while the cProfile report goes to stderr.
+        assert "cumulative" in captured.err
+        assert "function calls" in captured.err
+
+    def test_chaos_profile_out_dumps_stats(self, capsys, monkeypatch,
+                                           tmp_path):
+        import pstats
+
+        monkeypatch.setenv("REPRO_QUICK", "1")
+        out = tmp_path / "chaos.pstats"
+        rc = main([
+            "chaos", "--seeds", "1", "--protocols", "tp",
+            "--k", "4", "--bursts", "1", "--profile",
+            "--profile-out", str(out),
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert out.exists()
+        # The dump is a loadable pstats payload, not a text report.
+        assert pstats.Stats(str(out)).total_calls > 0
+        assert "cumulative" not in captured.err
+
+    def test_profile_forces_serial_jobs(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_QUICK", "1")
+        rc = main(["sweep", "--loads", "0.05", "--profile",
+                   "--jobs", "4"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "forces --jobs 1" in captured.err
